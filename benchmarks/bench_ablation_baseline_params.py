@@ -1,0 +1,75 @@
+"""Ablation — baseline parameter sensitivity (fairness audit).
+
+The Figure 13 comparison depends on TP's turn length and FS's slot
+interval, which the paper does not specify.  These sweeps show where
+our defaults sit on each baseline's own curve: the comparison uses
+each baseline at or near its best operating point, so Camouflage's
+margin is not an artefact of a crippled baseline.
+"""
+
+from repro.analysis.format import format_table
+from repro.analysis.sweeps import (
+    fs_interval_sweep,
+    noc_latency_sweep,
+    tp_turn_length_sweep,
+)
+
+from conftest import BENCH_DEFAULTS
+
+
+def test_ablation_baseline_params(benchmark, record_result):
+    def run():
+        return {
+            "tp": tp_turn_length_sweep("gcc", "mcf", BENCH_DEFAULTS),
+            "fs": fs_interval_sweep("gcc", "mcf", BENCH_DEFAULTS),
+            "noc": noc_latency_sweep("mcf", BENCH_DEFAULTS),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sections = []
+    sections.append("TP turn-length sweep (avg slowdown, default=128):")
+    sections.append(format_table(
+        ["turn_length", "avg_slowdown"],
+        [[k, v] for k, v in results["tp"].items()],
+    ))
+    sections.append("")
+    sections.append("FS interval sweep (default=20; slip>5% = leaky config):")
+    sections.append(format_table(
+        ["interval", "avg_slowdown", "slip_fraction"],
+        [[k, v["slowdown"], v["slip_fraction"]]
+         for k, v in results["fs"].items()],
+    ))
+    sections.append("")
+    sections.append("NoC latency sweep (single-core mean memory latency):")
+    sections.append(format_table(
+        ["hop_latency", "mean_latency"],
+        [[k, v] for k, v in results["noc"].items()],
+    ))
+    record_result("ablation_baseline_params", "\n".join(sections))
+
+    # TP fairness: the Figure-13 default (128) is within 15% of the
+    # best turn length in the sweep.
+    tp_best = min(results["tp"].values())
+    assert results["tp"][128] <= tp_best * 1.15
+
+    # FS transparency: because dummy fill keeps the aggregate load
+    # constant, tighter intervals are *also* leak-free and perform
+    # monotonically better until the channel saturates — FS at its
+    # tightest is effectively a generous distributed constant-rate
+    # shaper.  The sweep documents this openly: the Fig-13 default
+    # (20) sits mid-curve, and the honest headline (EXPERIMENTS.md)
+    # reports Camouflage ~at parity with a well-provisioned FS rather
+    # than the paper's 1.32x.
+    fs_slowdowns = [results["fs"][k]["slowdown"]
+                    for k in sorted(results["fs"])]
+    assert fs_slowdowns == sorted(fs_slowdowns), (
+        "FS slowdown should grow monotonically with the interval"
+    )
+    # Every swept interval stayed essentially leak-free under dummy fill.
+    assert all(v["slip_fraction"] < 0.10 for v in results["fs"].values())
+
+    # Substrate sanity: end-to-end latency grows with hop latency by
+    # ~2 cycles per added hop cycle (request + response traversals).
+    lat = results["noc"]
+    delta = lat[16] - lat[1]
+    assert 1.5 * (16 - 1) <= delta <= 3.0 * (16 - 1)

@@ -1,0 +1,38 @@
+"""Abstract / conclusion headline — Camouflage vs CS, TP, FS.
+
+"Camouflage on average improves program throughput by 1.12x, 1.5x, and
+1.32x compared with CS, TP, and FS respectively."  Aggregates the
+Fig 12 sweep (vs CS) and Fig 13 pairs (vs TP / FS).
+"""
+
+from repro.analysis.experiments import headline_speedups
+from repro.analysis.format import format_table
+
+from conftest import BENCH_DEFAULTS
+
+
+def test_headline_speedups(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: headline_speedups(BENCH_DEFAULTS),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ["vs constant shaper (CS)", result["vs_constant_shaper"], 1.12],
+        ["vs temporal partitioning (TP)",
+         result["vs_temporal_partitioning"], 1.5],
+        ["vs fixed service (FS+banks)", result["vs_fixed_service"], 1.32],
+    ]
+    text = format_table(
+        ["comparison", "measured_geomean_speedup", "paper"], rows
+    )
+    record_result("headline_speedups", text)
+
+    # Shape claims: Camouflage beats every baseline on average.  The
+    # margin over FS (paper: 1.32x) is narrower here (~1.05-1.15x):
+    # our FS baseline gets a near-fair-share slot interval and our
+    # 3-copy victim mixes load a single DDR3 channel heavily, where
+    # every constant-injection scheme converges toward its bandwidth
+    # budget (see EXPERIMENTS.md).
+    assert result["vs_constant_shaper"] > 1.0
+    assert result["vs_temporal_partitioning"] > 1.3
+    assert result["vs_fixed_service"] > 1.0

@@ -1,0 +1,48 @@
+"""Section II-B scalability — TP degrades with domain count, Camouflage
+does not.
+
+"Temporal Partitioning applications based on several security domains
+is feasible, however, it is not scalable if hundreds of applications
+don't trust each other ... each of them only receives 1/100 of the
+memory bandwidth."  This bench sweeps the number of mutually
+distrusting cores and compares TP's average slowdown against per-core
+Request Camouflage (and the unprotected FR-FCFS contention floor).
+"""
+
+from repro.analysis.experiments import scalability_experiment
+from repro.analysis.format import format_table
+
+from conftest import BENCH_DEFAULTS
+
+CORE_COUNTS = (2, 4, 8)
+
+
+def test_scalability_with_domain_count(benchmark, record_result):
+    results = benchmark.pedantic(
+        lambda: scalability_experiment(
+            "gcc", BENCH_DEFAULTS, core_counts=CORE_COUNTS
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [n, r["frfcfs"], r["tp"], r["camouflage"]]
+        for n, r in results.items()
+    ]
+    text = format_table(
+        ["cores (=domains)", "fr-fcfs slowdown", "tp slowdown",
+         "camouflage slowdown"],
+        rows,
+    )
+    record_result("scalability_domains", text)
+
+    # TP's slowdown must grow substantially with the domain count...
+    assert results[8]["tp"] > 1.5 * results[2]["tp"]
+    # ...while Camouflage's stays within contention-growth territory.
+    camo_growth = results[8]["camouflage"] / results[2]["camouflage"]
+    tp_growth = results[8]["tp"] / results[2]["tp"]
+    assert camo_growth < tp_growth
+    # Once more than two domains contend, Camouflage beats TP outright
+    # (at n=2 the turn tax is small and roughly matches the
+    # fake-traffic tax — the crossover the paper's Figure 2 sketches).
+    for n in (4, 8):
+        assert results[n]["camouflage"] < results[n]["tp"]

@@ -1,0 +1,43 @@
+"""Workload-calibration table — validating the trace substitution.
+
+DESIGN.md §2 claims the synthetic generators preserve the qualitative
+properties the paper's conclusions rest on.  This bench measures every
+benchmark's actual memory behaviour on the simulator and asserts the
+claims, producing the calibration table the substitution is judged by.
+"""
+
+from repro.analysis.calibration import (
+    calibrate_suite,
+    check_substitution_claims,
+)
+from repro.analysis.format import format_table
+
+from conftest import BENCH_DEFAULTS
+
+
+def test_workload_calibration(benchmark, record_result):
+    calibrations = benchmark.pedantic(
+        lambda: calibrate_suite(BENCH_DEFAULTS), rounds=1, iterations=1
+    )
+    rows = [
+        [c.name, c.ipc, c.llc_mpki, c.requests_per_kilocycle,
+         c.row_hit_rate, c.mean_latency, c.burstiness]
+        for c in sorted(
+            calibrations.values(),
+            key=lambda c: -c.requests_per_kilocycle,
+        )
+    ]
+    claims = check_substitution_claims(calibrations)
+    text = format_table(
+        ["benchmark", "ipc", "llc_mpki", "req/kcycle", "row_hit_rate",
+         "mean_latency", "burstiness"],
+        rows,
+    )
+    text += "\n\nsubstitution claims:\n" + format_table(
+        ["claim", "held"],
+        [[claim, held] for claim, held in claims.items()],
+    )
+    record_result("workload_calibration", text)
+
+    for claim, held in claims.items():
+        assert held, f"substitution claim failed: {claim}"

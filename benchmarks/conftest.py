@@ -1,0 +1,51 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper (see DESIGN.md section 3).  Results are printed in the same
+rows/series the paper reports and archived under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from a run.
+"""
+
+import dataclasses
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentDefaults
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Full-size experiment defaults for the harness.  Scale down with
+#: REPRO_BENCH_SCALE=0.25 for a quick smoke run.
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+BENCH_DEFAULTS = ExperimentDefaults(
+    accesses=int(4000 * _SCALE) or 1,
+    cycles=int(30000 * _SCALE) or 1,
+    seed=42,
+)
+
+#: Longer runs for statistics-hungry experiments (MI estimation).
+LONG_DEFAULTS = dataclasses.replace(
+    BENCH_DEFAULTS,
+    accesses=int(8000 * _SCALE) or 1,
+    cycles=int(90000 * _SCALE) or 1,
+)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Print a result block and archive it under benchmarks/results."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Covert-channel attack and defence (paper Algorithm 1, Figs 14/15).
+
+A malicious sender encodes a secret key in its memory-traffic
+envelope: bursts of cache-line writes for 1-bits, silence for 0-bits.
+An observer on the memory bus recovers the key by counting requests
+per pulse window.
+
+This demo runs the attack twice — against an unprotected system (key
+recovered perfectly) and against Request Camouflage (traffic envelope
+flat, decoding collapses to coin flips).
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+from repro.analysis.experiments import covert_channel_experiment
+from repro.analysis.format import ascii_series
+
+KEY = 0x2AAA  # 16 bits: 0010 1010 1010 1010
+BITS = 16
+PULSE = 2500
+
+
+def show(label: str, result: dict) -> None:
+    counts = [float(c) for c in result["window_counts"]]
+    print(f"--- {label} ---")
+    print(f"  bus events         : {len(result['bus_events'])}")
+    print(f"  traffic per pulse  : {ascii_series(counts, width=BITS)}")
+    print(f"  key bits           : {''.join(map(str, result['key_bits']))}")
+    print(f"  decoded bits       : {''.join(map(str, result['decoded_bits']))}")
+    print(f"  bit error rate     : {result['bit_error_rate']:.2f}")
+    print()
+
+
+def main() -> None:
+    print(f"secret key: {KEY:#06x} ({BITS} bits), "
+          f"PULSE = {PULSE} cycles\n")
+
+    unshaped = covert_channel_experiment(
+        KEY, bits=BITS, shaped=False, pulse_cycles=PULSE
+    )
+    show("no shaping: the bus leaks the key", unshaped)
+
+    shaped = covert_channel_experiment(
+        KEY, bits=BITS, shaped=True, pulse_cycles=PULSE
+    )
+    show("Request Camouflage: fake traffic fills the silences", shaped)
+
+    assert unshaped["bit_error_rate"] == 0.0
+    assert shaped["bit_error_rate"] >= 0.3
+    print("covert channel closed: decoding is no better than chance")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Explore the security/performance trade-off space (paper Figure 2).
+
+Sweeps Camouflage bandwidth budgets for one workload, prints the
+(IPC, mutual-information) frontier next to the constant-rate and
+no-shaping anchors, and saves the configuration you would deploy as a
+JSON file a hypervisor (or the CLI) can load back.
+
+Run:  python examples/explore_tradeoff.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    ExperimentDefaults,
+    staircase_config,
+    tradeoff_sweep,
+)
+from repro.analysis.format import format_table
+from repro.core.bins import BinSpec
+from repro.core.serialization import load_config, save_config
+
+WORKLOAD = "omnetpp"
+DEFAULTS = ExperimentDefaults(accesses=6000, cycles=60000)
+
+
+def main() -> None:
+    print(f"sweeping Camouflage budgets for {WORKLOAD} ...\n")
+    points = tradeoff_sweep(
+        WORKLOAD, DEFAULTS, scales=(0.6, 0.8, 1.0, 1.5, 2.0)
+    )
+    print(format_table(
+        ["config", "ipc", "leak (bits/window)"],
+        [[p["label"], p["ipc"], p["mi"]] for p in points],
+    ))
+
+    # Pick the fastest shaped point whose leak stays near zero; this
+    # is the distribution a deployment would pin for the VM.
+    shaped = [p for p in points if p["label"].startswith("camo")]
+    secure = [p for p in shaped if p["mi"] < 0.1]
+    chosen = max(secure or shaped, key=lambda p: p["ipc"])
+    baseline = next(p for p in points if p["label"] == "no-shaping")
+    print(f"\nchosen operating point: {chosen['label']} "
+          f"(IPC {chosen['ipc']:.2f} = "
+          f"{chosen['ipc'] / baseline['ipc']:.0%} of unshaped, "
+          f"leak {chosen['mi']:.3f} bits/window)")
+
+    # Persist it the way the hypervisor would.
+    scale = float(chosen["label"].split("x")[-1])
+    spec = BinSpec(replenish_period=512)
+    base_rate = 1 / 18  # from the sweep's internal profiling
+    config = staircase_config(spec, base_rate * scale)
+    out = Path(tempfile.gettempdir()) / f"camouflage-{WORKLOAD}.json"
+    save_config(spec, config, out)
+    spec_back, config_back = load_config(out)
+    print(f"saved deployable configuration to {out}")
+    print(f"  edges: {spec_back.edges}")
+    print(f"  credits: {config_back.credits}")
+    assert config_back == config
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Pin/bus-monitoring defence with Request Camouflage (paper IV-E).
+
+Threat model: a data-center operator with physical probes on the
+memory bus watches when each request leaves the chip.  Program phases
+(e.g. a crypto routine's key-dependent branches) modulate the request
+inter-arrival distribution, so the trace leaks program behaviour.
+
+This demo shows two *different programs* (gcc vs mcf — wildly
+different intrinsic distributions) becoming indistinguishable on the
+bus under ReqC, and quantifies the leak with windowed mutual
+information.
+
+Run:  python examples/pin_monitoring_defense.py
+"""
+
+from repro.analysis.experiments import (
+    ExperimentDefaults,
+    run_mix,
+    staircase_config,
+)
+from repro.analysis.format import format_distribution
+from repro.core.bins import BinSpec
+from repro.security.mutual_information import windowed_rate_mi
+from repro.sim.system import RequestShapingPlan
+
+DEFAULTS = ExperimentDefaults(accesses=5000, cycles=60000)
+SPEC = BinSpec(replenish_period=512)
+
+
+def bus_times(histogram) -> list:
+    out, t = [], 0
+    for gap in histogram.gaps:
+        t += gap
+        out.append(t)
+    return out
+
+
+def run(program: str, shaped: bool):
+    plans = None
+    if shaped:
+        # One predetermined distribution for everyone — chosen without
+        # looking at any program, which is what makes it leak-free.
+        # Provisioned above the most intense program's demand so real
+        # traffic flows and fake traffic fills the rest; an
+        # under-provisioned budget would throttle the program into
+        # lockstep with the bus and leave nothing to measure.
+        config = staircase_config(SPEC, events_per_cycle=1 / 12)
+        plans = {0: RequestShapingPlan(config=config, spec=SPEC)}
+    report = run_mix([program], DEFAULTS, request_plans=plans)
+    return report
+
+
+def main() -> None:
+    for shaped in (False, True):
+        label = "Request Camouflage" if shaped else "no shaping"
+        print(f"=== {label} ===")
+        for program in ("gcc", "mcf"):
+            report = run(program, shaped)
+            stats = report.core(0)
+            mi = windowed_rate_mi(
+                bus_times(stats.request_intrinsic),
+                bus_times(stats.request_shaped),
+                window_cycles=2048,
+                total_cycles=report.cycles_run,
+                bias_correction=True,
+            )
+            print(f"  {program:>4s} bus distribution: "
+                  + format_distribution(stats.request_shaped.counts))
+            print(f"       program->bus MI: {mi:.3f} bits/window "
+                  f"(IPC {stats.ipc:.2f}, "
+                  f"{stats.fake_requests_sent} fake requests)")
+        print()
+
+    print("Under shaping both programs show the same staircase on the "
+          "bus\nand the MI between program behaviour and bus traffic is "
+          "near zero.")
+
+
+if __name__ == "__main__":
+    main()

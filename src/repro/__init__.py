@@ -1,0 +1,60 @@
+"""Camouflage: memory traffic shaping to mitigate timing attacks.
+
+A full reproduction of Zhou, Wagh, Mittal & Wentzlaff (HPCA 2017):
+the Camouflage bin-based request/response traffic shapers, every
+baseline the paper compares against (FR-FCFS, constant-rate shaping,
+temporal partitioning, fixed service with bank partitioning), and the
+complete simulation substrate they run on — a DDR3 DRAM model, a
+shared memory controller, private cache hierarchies, a shared NoC and
+trace-driven out-of-order cores.
+
+Quick start::
+
+    from repro import SystemBuilder, RequestShapingPlan, BinConfiguration
+    from repro.workloads import make_trace
+
+    builder = SystemBuilder(seed=1)
+    builder.add_core(
+        make_trace("mcf", 2000),
+        request_shaping=RequestShapingPlan(
+            config=BinConfiguration((8, 8, 8, 8, 4, 4, 2, 2, 1, 1))
+        ),
+    )
+    report = builder.build().run(20_000)
+    print(report.summary_lines())
+
+See DESIGN.md for the system inventory and the per-figure experiment
+index, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core.bins import (
+    BinConfiguration,
+    BinSpec,
+    constant_rate_config,
+    uniform_config,
+)
+from repro.core.distribution import InterArrivalHistogram
+from repro.sim.stats import CoreStats, SystemReport
+from repro.sim.system import (
+    RequestShapingPlan,
+    ResponseShapingPlan,
+    System,
+    SystemBuilder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinConfiguration",
+    "BinSpec",
+    "CoreStats",
+    "InterArrivalHistogram",
+    "RequestShapingPlan",
+    "ResponseShapingPlan",
+    "System",
+    "SystemBuilder",
+    "SystemReport",
+    "constant_rate_config",
+    "uniform_config",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and readable without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], precision: int = 3
+) -> str:
+    """Render rows as an aligned text table.
+
+    Floats are formatted to ``precision`` digits; everything else via
+    ``str``.
+    """
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def ascii_series(values: Sequence[float], width: int = 64) -> str:
+    """A one-line sparkline of a numeric series (downsampled to fit)."""
+    values = list(values)
+    if not values:
+        return "(empty)"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [
+            values[min(len(values) - 1, int(i * stride))] for i in range(width)
+        ]
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _BLOCKS[1] * len(values)
+    scale = len(_BLOCKS) - 2
+    return "".join(
+        _BLOCKS[1 + int((v - low) / span * scale)] for v in values
+    )
+
+
+def format_distribution(counts: Sequence[int], label: str = "") -> str:
+    """Bin counts as a labelled bar row (Figure 11 style)."""
+    total = sum(counts) or 1
+    bars = ascii_series([c / total for c in counts], width=len(counts))
+    numbers = " ".join(f"{c:>4d}" for c in counts)
+    prefix = f"{label:<12s} " if label else ""
+    return f"{prefix}{bars}  [{numbers}]"

@@ -1,0 +1,23 @@
+"""Cache hierarchy substrate: set-associative caches, MSHRs, L1+L2.
+
+Per-core private L1 (32 KB, 4-way) and L2/LLC (128 KB, 8-way) with
+write-back/write-allocate policy and an 8-entry MSHR file, matching the
+paper's Table II.  The hierarchy filters the core's access stream down
+to the LLC misses that become memory transactions — the traffic
+Camouflage shapes.
+"""
+
+from repro.cache.cache import CacheConfig, EvictedLine, SetAssociativeCache
+from repro.cache.hierarchy import AccessOutcome, CacheHierarchy, HierarchyConfig
+from repro.cache.mshr import MshrEntry, MshrFile
+
+__all__ = [
+    "AccessOutcome",
+    "CacheConfig",
+    "CacheHierarchy",
+    "EvictedLine",
+    "HierarchyConfig",
+    "MshrEntry",
+    "MshrFile",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,149 @@
+"""Set-associative cache with true-LRU replacement.
+
+The model tracks tags and dirty bits only (no data payloads — the
+simulator is timing-oriented).  Replacement is true LRU per set,
+implemented with an ordered dict per set so both hit promotion and
+victim selection are O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.util import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "ways", "line_bytes"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigurationError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ConfigurationError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigurationError(
+                f"number of sets must be a power of two, got {self.num_sets}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A victim line pushed out by a fill."""
+
+    address: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """Tag store of one cache level with LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._offset_bits = log2_int(config.line_bytes)
+        self._index_bits = log2_int(config.num_sets)
+        # Per set: OrderedDict mapping tag -> dirty flag; order = LRU
+        # (first item is least recently used).
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- address helpers --------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """The address of the line containing ``address``."""
+        return address & ~(self.config.line_bytes - 1)
+
+    def _split(self, address: int):
+        line = address >> self._offset_bits
+        index = line & (self.config.num_sets - 1)
+        tag = line >> self._index_bits
+        return index, tag
+
+    def _rebuild(self, index: int, tag: int) -> int:
+        line = (tag << self._index_bits) | index
+        return line << self._offset_bits
+
+    # -- operations ---------------------------------------------------------
+
+    def lookup(self, address: int) -> bool:
+        """Non-destructive presence check (no LRU update)."""
+        index, tag = self._split(address)
+        return tag in self._sets[index]
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Access a line; returns True on hit (and promotes to MRU)."""
+        index, tag = self._split(address)
+        entries = self._sets[index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            if is_write:
+                entries[tag] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int, dirty: bool = False) -> Optional[EvictedLine]:
+        """Install a line; returns the evicted victim, if any.
+
+        Filling a line that is already resident just refreshes its LRU
+        position (and ORs in the dirty bit), which can happen when two
+        misses to the same line raced in the MSHR file.
+        """
+        index, tag = self._split(address)
+        entries = self._sets[index]
+        victim: Optional[EvictedLine] = None
+        if tag in entries:
+            entries[tag] = entries[tag] or dirty
+            entries.move_to_end(tag)
+            return None
+        if len(entries) >= self.config.ways:
+            victim_tag, victim_dirty = entries.popitem(last=False)
+            victim = EvictedLine(
+                address=self._rebuild(index, victim_tag), dirty=victim_dirty
+            )
+            self.evictions += 1
+            if victim_dirty:
+                self.writebacks += 1
+        entries[tag] = dirty
+        return victim
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present; returns whether it was resident."""
+        index, tag = self._split(address)
+        return self._sets[index].pop(tag, None) is not None
+
+    def resident_lines(self) -> int:
+        """Total lines currently cached (for occupancy assertions)."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,109 @@
+"""Two-level private cache hierarchy (L1 + L2/LLC).
+
+The hierarchy answers one question for the core: *does this access hit
+on chip, and if so with what latency?*  On an L2 miss the caller is
+handed the line address to turn into a memory transaction; dirty
+victims produce write-back transactions.  Inclusive allocation: fills
+install into both levels (L1 victims that are dirty are absorbed by
+writing them into L2 rather than memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+
+
+class AccessOutcome(Enum):
+    """Where in the hierarchy an access was satisfied."""
+
+    L1_HIT = "l1_hit"
+    L2_HIT = "l2_hit"
+    MISS = "miss"
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes and latencies for the two levels (paper Table II defaults)."""
+
+    l1: CacheConfig = CacheConfig(size_bytes=32 * 1024, ways=4)
+    l2: CacheConfig = CacheConfig(size_bytes=128 * 1024, ways=8)
+    l1_latency: int = 1
+    l2_latency: int = 8
+
+
+@dataclass(frozen=True)
+class HierarchyAccess:
+    """Result of one access: outcome, on-chip latency, write-backs."""
+
+    outcome: AccessOutcome
+    latency: int
+    line_address: int
+    writebacks: tuple = ()
+
+
+class CacheHierarchy:
+    """Private L1 + L2 for one core."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+        if self.config.l1.line_bytes != self.config.l2.line_bytes:
+            raise ValueError("L1 and L2 must share a line size")
+        self.l1 = SetAssociativeCache(self.config.l1)
+        self.l2 = SetAssociativeCache(self.config.l2)
+
+    def line_address(self, address: int) -> int:
+        return self.l2.line_address(address)
+
+    def access(self, address: int, is_write: bool) -> HierarchyAccess:
+        """Probe L1 then L2.
+
+        A MISS outcome means the caller must fetch the line from
+        memory (allocating an MSHR and later calling :meth:`fill`).
+        An L2 hit promotes the line into L1, possibly evicting an L1
+        victim into L2 (absorbed on chip, no memory traffic).
+        """
+        line = self.line_address(address)
+        if self.l1.access(line, is_write):
+            return HierarchyAccess(AccessOutcome.L1_HIT,
+                                   self.config.l1_latency, line)
+        if self.l2.access(line, is_write):
+            victim = self.l1.fill(line, dirty=is_write)
+            if victim is not None and victim.dirty:
+                self.l2.fill(victim.address, dirty=True)
+            return HierarchyAccess(AccessOutcome.L2_HIT,
+                                   self.config.l2_latency, line)
+        return HierarchyAccess(AccessOutcome.MISS, 0, line)
+
+    def fill(self, line_address: int, is_write: bool) -> List[int]:
+        """Install a fetched line into L2 and L1.
+
+        Returns the addresses of dirty L2 victims that must be written
+        back to memory.
+        """
+        writebacks: List[int] = []
+        l2_victim = self.l2.fill(line_address, dirty=is_write)
+        if l2_victim is not None:
+            if l2_victim.dirty:
+                writebacks.append(l2_victim.address)
+            # Inclusion: a line leaving L2 must leave L1 too.
+            self.l1.invalidate(l2_victim.address)
+        l1_victim = self.l1.fill(line_address, dirty=is_write)
+        if l1_victim is not None and l1_victim.dirty:
+            absorbed = self.l2.fill(l1_victim.address, dirty=True)
+            if absorbed is not None:
+                if absorbed.dirty:
+                    writebacks.append(absorbed.address)
+                self.l1.invalidate(absorbed.address)
+        return writebacks
+
+    @property
+    def llc_miss_count(self) -> int:
+        return self.l2.misses
+
+    @property
+    def llc_access_count(self) -> int:
+        return self.l2.hits + self.l2.misses

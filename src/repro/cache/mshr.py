@@ -1,0 +1,102 @@
+"""Miss Status Holding Registers.
+
+The MSHR file bounds memory-level parallelism (8 entries per core in
+the paper's Table II) and merges concurrent misses to the same line so
+only one memory transaction is sent.  When the file is full the core
+must stall — one of the two stall sources in the core model (the other
+is the instruction window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, ProtocolError
+
+
+@dataclass
+class MshrEntry:
+    """One outstanding line miss and the instructions waiting on it."""
+
+    line_address: int
+    allocated_cycle: int
+    is_write: bool
+    waiting_instructions: List[int] = field(default_factory=list)
+
+    def merge(self, instruction_seq: int, is_write: bool) -> None:
+        """Fold another miss to the same line into this entry."""
+        self.waiting_instructions.append(instruction_seq)
+        self.is_write = self.is_write or is_write
+
+
+class MshrFile:
+    """Fixed-capacity MSHR file with same-line merging."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"MSHR capacity must be positive: {capacity}")
+        self._capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+        self.allocations = 0
+        self.merges = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    def lookup(self, line_address: int) -> Optional[MshrEntry]:
+        return self._entries.get(line_address)
+
+    def oldest_allocation_cycle(self) -> Optional[int]:
+        """Allocation cycle of the oldest outstanding miss, if any."""
+        if not self._entries:
+            return None
+        return min(e.allocated_cycle for e in self._entries.values())
+
+    def allocate(
+        self, line_address: int, cycle: int, instruction_seq: int, is_write: bool
+    ) -> MshrEntry:
+        """Allocate a new entry (caller must have checked ``is_full``)."""
+        if line_address in self._entries:
+            raise ProtocolError(
+                f"allocate for line {line_address:#x} that already has an entry"
+            )
+        if self.is_full:
+            raise ProtocolError("allocate into a full MSHR file")
+        entry = MshrEntry(
+            line_address=line_address,
+            allocated_cycle=cycle,
+            is_write=is_write,
+            waiting_instructions=[instruction_seq],
+        )
+        self._entries[line_address] = entry
+        self.allocations += 1
+        return entry
+
+    def merge(self, line_address: int, instruction_seq: int, is_write: bool) -> None:
+        """Attach an instruction to an existing entry for its line."""
+        entry = self._entries.get(line_address)
+        if entry is None:
+            raise ProtocolError(f"merge into missing entry {line_address:#x}")
+        entry.merge(instruction_seq, is_write)
+        self.merges += 1
+
+    def release(self, line_address: int) -> MshrEntry:
+        """Free the entry when its fill arrives; returns the entry."""
+        entry = self._entries.pop(line_address, None)
+        if entry is None:
+            raise ProtocolError(
+                f"release of line {line_address:#x} with no MSHR entry"
+            )
+        return entry
+
+    def outstanding_lines(self) -> List[int]:
+        return list(self._entries.keys())

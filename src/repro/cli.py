@@ -1,0 +1,243 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig11 [--scale 0.5]
+    python -m repro.cli fig12 --benchmark mcf
+    python -m repro.cli covert --key 0x2AAAAAAA --bits 32 [--no-shaping]
+    python -m repro.cli mi
+    python -m repro.cli tradeoff --benchmark apache
+    python -m repro.cli fig13 --adversary gcc --victim mcf
+
+Each subcommand runs the corresponding experiment driver from
+:mod:`repro.analysis.experiments` and prints the same rows/series the
+paper's figure reports.  ``--scale`` shrinks the default run length
+for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    ExperimentDefaults,
+    bdc_comparison,
+    covert_channel_experiment,
+    measure_mi_suite,
+    reqc_speedup_experiment,
+    run_mix,
+    tradeoff_sweep,
+)
+from repro.analysis.format import ascii_series, format_distribution, format_table
+from repro.core.bins import BinConfiguration
+from repro.sim.system import RequestShapingPlan
+from repro.workloads.spec import BENCHMARK_NAMES
+
+_EXPERIMENTS = {
+    "fig11": "shape a benchmark's requests onto the DESIRED staircase",
+    "fig12": "ReqC speedup over a constant-rate shaper",
+    "fig13": "BDC vs TP vs FS program average slowdown",
+    "covert": "Algorithm-1 covert channel attack (Figs 14/15)",
+    "mi": "mutual-information table (section IV-B2)",
+    "tradeoff": "security/performance sweep (Figure 2)",
+    "calibrate": "measured workload characteristics (trace substitution)",
+}
+
+
+def _defaults(args) -> ExperimentDefaults:
+    return ExperimentDefaults().scaled(args.scale)
+
+
+def _cmd_list(_args) -> int:
+    print(format_table(
+        ["experiment", "description"],
+        [[name, desc] for name, desc in _EXPERIMENTS.items()],
+    ))
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    desired = BinConfiguration((10, 9, 8, 7, 6, 5, 4, 3, 2, 1))
+    defaults = _defaults(args)
+    report = run_mix(
+        [args.benchmark], defaults,
+        request_plans={
+            0: RequestShapingPlan(
+                config=desired, spec=defaults.spec, strict_binning=True
+            )
+        },
+    )
+    stats = report.core(0)
+    print(f"benchmark: {args.benchmark}")
+    print("intrinsic:",
+          format_distribution(stats.request_intrinsic.counts))
+    print("shaped:   ",
+          format_distribution(stats.request_shaped.counts))
+    print("DESIRED:  ", format_distribution(desired.credits))
+    tv = 0.5 * sum(
+        abs(a - b)
+        for a, b in zip(stats.request_shaped.frequencies(),
+                        desired.normalized())
+    )
+    print(f"TV distance to DESIRED: {tv:.4f}")
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    benchmarks = [args.benchmark] if args.benchmark else list(BENCHMARK_NAMES)
+    rows = []
+    for bench in benchmarks:
+        result = reqc_speedup_experiment(bench, _defaults(args))
+        rows.append([bench, result["cs_ipc"], result["camouflage_ipc"],
+                     result["speedup"]])
+    print(format_table(
+        ["benchmark", "cs_ipc", "camouflage_ipc", "speedup"], rows
+    ))
+    return 0
+
+
+def _cmd_fig13(args) -> int:
+    result = bdc_comparison(args.adversary, args.victim, _defaults(args),
+                            tune=args.tune)
+    print(format_table(
+        ["technique", "avg slowdown"],
+        [
+            ["temporal partitioning", result["tp_slowdown"]],
+            ["fixed service + banks", result["fs_slowdown"]],
+            ["camouflage (BDC)", result["camouflage_slowdown"]],
+        ],
+    ))
+    return 0
+
+
+def _cmd_covert(args) -> int:
+    key = int(args.key, 0)
+    result = covert_channel_experiment(
+        key, bits=args.bits, shaped=not args.no_shaping,
+        pulse_cycles=args.pulse, defaults=_defaults(args),
+    )
+    counts = [float(c) for c in result["window_counts"]]
+    print(f"key: {key:#x} ({args.bits} bits), "
+          f"shaping: {'off' if args.no_shaping else 'on'}")
+    print("traffic/pulse:", ascii_series(counts, width=args.bits))
+    print("key bits:     ", "".join(map(str, result["key_bits"])))
+    print("decoded bits: ", "".join(map(str, result["decoded_bits"])))
+    print(f"bit error rate: {result['bit_error_rate']:.3f} "
+          "(0 = fully leaked, 0.5 = chance)")
+    return 0
+
+
+def _cmd_mi(args) -> int:
+    results = measure_mi_suite(defaults=_defaults(args))
+    rows = [
+        [name, values["paired"], values["windowed"]]
+        for name, values in results.items()
+    ]
+    print(format_table(
+        ["scheme", "paired_mi_bits", "windowed_mi_bits"], rows, precision=4
+    ))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.analysis.calibration import (
+        calibrate_suite,
+        check_substitution_claims,
+    )
+
+    benchmarks = [args.benchmark] if args.benchmark else None
+    calibrations = calibrate_suite(_defaults(args), benchmarks)
+    rows = [
+        [c.name, c.ipc, c.llc_mpki, c.requests_per_kilocycle,
+         c.row_hit_rate, c.burstiness]
+        for c in sorted(calibrations.values(),
+                        key=lambda c: -c.requests_per_kilocycle)
+    ]
+    print(format_table(
+        ["benchmark", "ipc", "llc_mpki", "req/kcycle", "row_hit_rate",
+         "burstiness"],
+        rows,
+    ))
+    if benchmarks is None:
+        print()
+        claims = check_substitution_claims(calibrations)
+        print(format_table(
+            ["substitution claim", "held"],
+            [[claim, held] for claim, held in claims.items()],
+        ))
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    points = tradeoff_sweep(args.benchmark, _defaults(args))
+    print(format_table(
+        ["config", "ipc", "mi_bits"],
+        [[p["label"], p["ipc"], p["mi"]] for p in points],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Camouflage (HPCA 2017) reproduction experiments",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale the run length (0.25 = quick look)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p = sub.add_parser("fig11", help=_EXPERIMENTS["fig11"])
+    p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
+
+    p = sub.add_parser("fig12", help=_EXPERIMENTS["fig12"])
+    p.add_argument("--benchmark", default=None, choices=BENCHMARK_NAMES)
+
+    p = sub.add_parser("fig13", help=_EXPERIMENTS["fig13"])
+    p.add_argument("--adversary", default="gcc", choices=BENCHMARK_NAMES)
+    p.add_argument("--victim", default="mcf", choices=("astar", "mcf"))
+    p.add_argument("--tune", action="store_true",
+                   help="run the online GA CONFIG phase first")
+
+    p = sub.add_parser("covert", help=_EXPERIMENTS["covert"])
+    p.add_argument("--key", default="0x2AAAAAAA")
+    p.add_argument("--bits", type=int, default=32)
+    p.add_argument("--pulse", type=int, default=3000)
+    p.add_argument("--no-shaping", action="store_true")
+
+    sub.add_parser("mi", help=_EXPERIMENTS["mi"])
+
+    p = sub.add_parser("tradeoff", help=_EXPERIMENTS["tradeoff"])
+    p.add_argument("--benchmark", default="apache", choices=BENCHMARK_NAMES)
+
+    p = sub.add_parser("calibrate", help=_EXPERIMENTS["calibrate"])
+    p.add_argument("--benchmark", default=None, choices=BENCHMARK_NAMES)
+
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "covert": _cmd_covert,
+    "mi": _cmd_mi,
+    "tradeoff": _cmd_tradeoff,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Shared low-level utilities used by every subsystem.
+
+This package deliberately has no dependency on any other ``repro``
+subpackage: it provides deterministic randomness, configuration
+plumbing, error types and small numeric helpers that the DRAM model,
+the caches, the shapers and the workload generators all build on.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.util import (
+    ceil_div,
+    clamp,
+    geometric_mean,
+    is_power_of_two,
+    log2_int,
+    saturating_add,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "DeterministicRng",
+    "ProtocolError",
+    "SimulationError",
+    "ceil_div",
+    "clamp",
+    "geometric_mean",
+    "is_power_of_two",
+    "log2_int",
+    "saturating_add",
+]

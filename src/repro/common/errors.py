@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Camouflage reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still being able to distinguish configuration mistakes (caller
+bugs) from protocol violations (library bugs surfaced by internal
+assertions) and runtime simulation failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied.
+
+    Raised eagerly at construction time so that a bad parameter fails
+    the experiment immediately instead of corrupting results mid-run.
+    """
+
+
+class ProtocolError(ReproError):
+    """An internal protocol invariant was violated.
+
+    Examples: a DRAM command issued before its timing constraint
+    expired, a response delivered for an unknown request id, or a
+    shaper consuming a credit from an empty bin.  These indicate bugs
+    in the simulator rather than in user configuration.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an unrecoverable runtime state.
+
+    For instance, a watchdog detecting that no component made forward
+    progress for an implausibly long time (deadlock), or statistics
+    requested before any cycles were simulated.
+    """

@@ -1,0 +1,67 @@
+"""Small numeric helpers shared across subsystems."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer division rounding toward positive infinity."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def clamp(value, low, high):
+    """Clamp ``value`` into the inclusive range ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty clamp range [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact base-2 logarithm of a power-of-two integer."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def saturating_add(value: int, delta: int, max_value: int) -> int:
+    """Add ``delta`` to ``value``, saturating at ``max_value``.
+
+    Models hardware counters of fixed width (e.g. the 10-bit credit
+    registers in the Camouflage shaper, paper section III-A3).
+    """
+    if max_value < 0:
+        raise ValueError(f"max_value must be non-negative, got {max_value}")
+    return min(max_value, value + delta)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The paper reports geometric-mean speedups (Fig. 12); this helper is
+    used by the benchmark harness to reproduce those summary rows.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def cumulative_sum(values: Sequence[float]) -> list:
+    """Running prefix sums of ``values`` (same length as the input)."""
+    total = 0.0
+    out = []
+    for v in values:
+        total += v
+        out.append(total)
+    return out

@@ -1,0 +1,76 @@
+"""Camouflage: bin-based memory traffic shaping (the paper's contribution).
+
+Components:
+
+* :class:`BinSpec` / :class:`BinConfiguration` — the hardware bin
+  geometry (10 bins over exponential inter-arrival intervals, 10-bit
+  credit registers) and a credit distribution to shape toward.
+* :class:`BinShaper` — the credit machinery shared by both directions:
+  replenishment, consumption, unused-credit latching, fake-traffic
+  scheduling.
+* :class:`RequestCamouflage` (ReqC) — shapes a core's request stream
+  before the shared channel; defends pin/bus monitoring.
+* :class:`ResponseCamouflage` (RespC) — shapes a core's response stream
+  at the controller egress; buffers, emits fake responses and raises
+  scheduler priority warnings; defends memory side/covert channels.
+* :class:`BidirectionalCamouflage` (BDC) — both at once.
+* :class:`PassthroughShaper` — the no-shaping baseline with the same
+  interface, so systems can be built uniformly.
+* :func:`constant_rate_config` — the CS (Ascend-style) degenerate
+  configuration: a single credited bin.
+"""
+
+from repro.core.bins import (
+    BinConfiguration,
+    BinSpec,
+    constant_rate_config,
+    uniform_config,
+)
+from repro.core.distribution import InterArrivalHistogram
+from repro.core.serialization import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.core.shaper import BinShaper, ShaperState
+from repro.core.request_shaper import PassthroughShaper, RequestCamouflage
+from repro.core.response_shaper import PassthroughResponsePath, ResponseCamouflage
+from repro.core.bidirectional import BidirectionalCamouflage
+from repro.core.epoch_shaper import (
+    EpochRateController,
+    EpochRateShaper,
+    RateSet,
+)
+from repro.core.hardware_cost import (
+    ShaperCost,
+    bdc_per_core_cost,
+    request_shaper_cost,
+    response_shaper_cost,
+)
+
+__all__ = [
+    "BidirectionalCamouflage",
+    "BinConfiguration",
+    "BinShaper",
+    "BinSpec",
+    "EpochRateController",
+    "EpochRateShaper",
+    "RateSet",
+    "InterArrivalHistogram",
+    "PassthroughResponsePath",
+    "PassthroughShaper",
+    "RequestCamouflage",
+    "ResponseCamouflage",
+    "ShaperCost",
+    "ShaperState",
+    "bdc_per_core_cost",
+    "config_from_dict",
+    "config_to_dict",
+    "load_config",
+    "request_shaper_cost",
+    "response_shaper_cost",
+    "save_config",
+    "constant_rate_config",
+    "uniform_config",
+]

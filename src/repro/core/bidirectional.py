@@ -1,0 +1,65 @@
+"""Bi-directional Camouflage (BDC) — paper section III-B3.
+
+BDC is the composition of a request shaper and a response shaper for
+the same core, used when both directions must be protected or when the
+memory controller's scheduling policy cannot be modified (so the
+acceleration warning path is unavailable and fake responses carry the
+whole burden of fixing the response distribution).
+
+This class is a thin coordinator: it owns the pair, exposes combined
+telemetry, and forwards GA reconfigurations to both directions (the
+genome of a BDC individual is the concatenation of two bin vectors —
+``(MAX_CREDITS^20)`` search space, section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.bins import BinConfiguration
+from repro.core.request_shaper import RequestCamouflage
+from repro.core.response_shaper import ResponseCamouflage
+
+
+class BidirectionalCamouflage:
+    """Coordinated request + response shaping for one core."""
+
+    def __init__(
+        self,
+        request_shaper: RequestCamouflage,
+        response_shaper: ResponseCamouflage,
+    ) -> None:
+        if request_shaper.core_id != response_shaper.core_id:
+            raise ValueError(
+                "BDC must pair shapers of the same core "
+                f"({request_shaper.core_id} vs {response_shaper.core_id})"
+            )
+        self.request = request_shaper
+        self.response = response_shaper
+
+    @property
+    def core_id(self) -> int:
+        return self.request.core_id
+
+    def reconfigure(
+        self,
+        request_config: BinConfiguration,
+        response_config: BinConfiguration,
+    ) -> None:
+        """Install a new (request, response) distribution pair.
+
+        Both take effect at each shaper's next replenishment boundary,
+        so a reconfiguration never tears a period.
+        """
+        self.request.shaper.reconfigure(request_config)
+        self.response.shaper.reconfigure(response_config)
+
+    def configs(self) -> Tuple[BinConfiguration, BinConfiguration]:
+        return (self.request.shaper.config, self.response.shaper.config)
+
+    def fake_traffic_fraction(self) -> float:
+        """Fraction of all released transactions that were fake."""
+        real = self.request.real_sent + self.response.real_sent
+        fake = self.request.fake_sent + self.response.fake_sent
+        total = real + fake
+        return fake / total if total else 0.0

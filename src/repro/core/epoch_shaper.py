@@ -1,0 +1,271 @@
+"""Epoch-based constant-rate shaping (Fletcher et al., HPCA 2014).
+
+The paper's reference [14] — the enhanced Ascend design — splits a
+program into coarse-grain epochs and picks a new constant access rate
+from a fixed *rate set* at each epoch boundary.  Leakage is then
+bounded by ``E × log2(R)`` bits (E epochs, R rates): the only
+information an observer gains is which rate was chosen when.
+
+Camouflage subsumes this design point (a one-bin configuration per
+epoch), but the paper compares against it conceptually in Figure 2, so
+this module provides a faithful standalone implementation:
+
+* :class:`RateSet` — the allowed intervals (powers of two by default).
+* :class:`EpochRateController` — picks the next epoch's rate from the
+  previous epoch's observed demand (the runtime policy Fletcher'14
+  describes: match the rate to the program phase).
+* :class:`EpochRateShaper` — drop-in request-path shaper with the
+  same interface as :class:`~repro.core.request_shaper.RequestCamouflage`,
+  releasing real traffic at the epoch's constant interval and filling
+  idle slots with fake requests (the ORAM in Ascend is accessed
+  unconditionally at the chosen rate).
+
+Leakage accounting is explicit: :meth:`EpochRateShaper.leakage_bound_bits`
+returns the ``E × log2(R)`` bound for the run so far.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.core.distribution import InterArrivalHistogram
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.noc.link import SharedLink
+
+
+@dataclass(frozen=True)
+class RateSet:
+    """The discrete intervals (cycles/access) an epoch may choose from."""
+
+    intervals: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise ConfigurationError("rate set must not be empty")
+        if any(i <= 0 for i in self.intervals):
+            raise ConfigurationError("intervals must be positive")
+        if list(self.intervals) != sorted(set(self.intervals)):
+            raise ConfigurationError(
+                "intervals must be strictly increasing and unique"
+            )
+
+    @property
+    def num_rates(self) -> int:
+        return len(self.intervals)
+
+    def bits_per_choice(self) -> float:
+        """log2(R): information revealed by one epoch's rate choice."""
+        return math.log2(self.num_rates)
+
+    def interval_for_demand(self, accesses: int, epoch_cycles: int) -> int:
+        """Slowest interval that still covers the observed demand.
+
+        ``accesses`` over ``epoch_cycles`` needs an average interval of
+        at most ``epoch_cycles / accesses``; pick the largest allowed
+        interval not exceeding it (or the fastest if even that is too
+        slow).
+        """
+        if accesses <= 0:
+            return self.intervals[-1]
+        needed = epoch_cycles / accesses
+        chosen = self.intervals[0]
+        for interval in self.intervals:
+            if interval <= needed:
+                chosen = interval
+        return chosen
+
+
+class EpochRateController:
+    """Chooses each epoch's rate from the previous epoch's demand."""
+
+    def __init__(self, rates: RateSet, epoch_cycles: int = 8192,
+                 initial_interval: Optional[int] = None) -> None:
+        if epoch_cycles <= 0:
+            raise ConfigurationError("epoch_cycles must be positive")
+        self.rates = rates
+        self.epoch_cycles = epoch_cycles
+        self.current_interval = initial_interval or rates.intervals[-1]
+        if self.current_interval not in rates.intervals:
+            raise ConfigurationError(
+                f"initial interval {self.current_interval} not in the rate set"
+            )
+        self._demand_this_epoch = 0
+        self._next_boundary = epoch_cycles
+        self.rate_history: List[Tuple[int, int]] = []  # (cycle, interval)
+
+    def note_demand(self) -> None:
+        """Record one intrinsic memory request this epoch."""
+        self._demand_this_epoch += 1
+
+    def maybe_advance_epoch(self, cycle: int, backlog: int = 0) -> bool:
+        """Cross any due epoch boundary; returns True if one crossed.
+
+        ``backlog`` (requests still waiting in the shaper) is added to
+        the observed demand: under throttling, submissions are
+        backpressured down to the current rate, so raw counts alone
+        would lock the controller at a too-slow rate forever.
+        """
+        crossed = False
+        while cycle >= self._next_boundary:
+            new_interval = self.rates.interval_for_demand(
+                self._demand_this_epoch + backlog, self.epoch_cycles
+            )
+            self._install(new_interval)
+            crossed = True
+        return crossed
+
+    def maybe_advance_with_feedback(
+        self, cycle: int, pressure: bool, idle: bool
+    ) -> bool:
+        """Boundary crossing with pressure/idle feedback (AIMD-style).
+
+        Demand counting alone cannot see past the core's MSHR limit
+        while throttled (submissions are backpressured to the current
+        rate), so the practical policy steps one rate *faster* when the
+        shaper observed queueing pressure during the epoch and one rate
+        *slower* when most slots went to fake traffic.
+        """
+        crossed = False
+        while cycle >= self._next_boundary:
+            index = self.rates.intervals.index(self.current_interval)
+            if pressure and index > 0:
+                index -= 1
+            elif idle and index + 1 < self.rates.num_rates:
+                index += 1
+            self._install(self.rates.intervals[index])
+            crossed = True
+            # Feedback applies once; further missed boundaries keep it.
+        return crossed
+
+    def _install(self, new_interval: int) -> None:
+        if new_interval != self.current_interval:
+            self.rate_history.append((self._next_boundary, new_interval))
+        self.current_interval = new_interval
+        self._demand_this_epoch = 0
+        self._next_boundary += self.epoch_cycles
+
+    @property
+    def epochs_elapsed(self) -> int:
+        return self._next_boundary // self.epoch_cycles - 1
+
+
+class EpochRateShaper:
+    """Fletcher'14-style shaper: constant rate per epoch, fake-filled.
+
+    Same request-path interface as ReqC (``can_accept`` / ``submit`` /
+    ``tick``), so :class:`~repro.sim.SystemBuilder` experiments can
+    compare the two directly.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        link: SharedLink,
+        port: int,
+        rng: DeterministicRng,
+        rates: Optional[RateSet] = None,
+        epoch_cycles: int = 8192,
+        address_space_bytes: int = 1 << 30,
+        line_bytes: int = 64,
+        buffer_capacity: int = 32,
+    ) -> None:
+        self.core_id = core_id
+        self.link = link
+        self.port = port
+        self._rng = rng
+        self.controller = EpochRateController(
+            rates or RateSet(), epoch_cycles=epoch_cycles
+        )
+        self._address_space = address_space_bytes
+        self._line_bytes = line_bytes
+        self._capacity = buffer_capacity
+        self._buffer: Deque[MemoryTransaction] = deque()
+        self._next_slot = self.controller.current_interval
+
+        self.intrinsic_histogram = InterArrivalHistogram()
+        self.shaped_histogram = InterArrivalHistogram()
+        self.real_sent = 0
+        self.fake_sent = 0
+        # Per-epoch feedback for the rate controller.
+        self._pressure_this_epoch = False
+        self._real_slots_this_epoch = 0
+        self._fake_slots_this_epoch = 0
+
+    # -- core-facing interface ------------------------------------------
+
+    def can_accept(self, core_id: int) -> bool:
+        return len(self._buffer) < self._capacity
+
+    def submit(self, txn: MemoryTransaction, cycle: int) -> None:
+        self._buffer.append(txn)
+        self.intrinsic_histogram.record(cycle)
+        self.controller.note_demand()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+    # -- per-cycle operation -----------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Fire exactly at each rate slot: real if queued, else fake.
+
+        Ascend accesses the ORAM unconditionally at the chosen rate —
+        an observer sees a perfectly periodic stream whose only degree
+        of freedom is the per-epoch rate choice.
+        """
+        slots = self._real_slots_this_epoch + self._fake_slots_this_epoch
+        idle = slots > 0 and self._fake_slots_this_epoch > slots // 2
+        if self.controller.maybe_advance_with_feedback(
+            cycle, pressure=self._pressure_this_epoch, idle=idle
+        ):
+            self._pressure_this_epoch = False
+            self._real_slots_this_epoch = 0
+            self._fake_slots_this_epoch = 0
+            # A new epoch re-times the slots from the boundary.
+            self._next_slot = max(
+                self._next_slot, cycle + self.controller.current_interval
+            )
+        if len(self._buffer) > 1:
+            # More than one waiter means the rate is holding the
+            # program back — escalate at the next boundary.
+            self._pressure_this_epoch = True
+        if cycle < self._next_slot or not self.link.can_inject(self.port):
+            return
+        if self._buffer:
+            txn = self._buffer.popleft()
+            txn.shaper_release_cycle = cycle
+            self.link.inject(self.port, txn)
+            self.real_sent += 1
+            self._real_slots_this_epoch += 1
+        else:
+            fake = self._make_fake(cycle)
+            self.link.inject(self.port, fake)
+            self.fake_sent += 1
+            self._fake_slots_this_epoch += 1
+        self.shaped_histogram.record(cycle)
+        self._next_slot = cycle + self.controller.current_interval
+
+    def _make_fake(self, cycle: int) -> MemoryTransaction:
+        max_line = max(1, self._address_space // self._line_bytes)
+        address = self._rng.randint(0, max_line - 1) * self._line_bytes
+        txn = MemoryTransaction(
+            core_id=self.core_id,
+            address=address,
+            kind=TransactionType.FAKE_READ,
+            created_cycle=cycle,
+        )
+        txn.shaper_release_cycle = cycle
+        return txn
+
+    # -- leakage accounting -----------------------------------------------------
+
+    def leakage_bound_bits(self) -> float:
+        """Fletcher'14's bound: E × log2(R) for the epochs so far."""
+        epochs = max(0, self.controller.epochs_elapsed)
+        return epochs * self.controller.rates.bits_per_choice()

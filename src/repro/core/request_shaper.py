@@ -1,0 +1,174 @@
+"""Request Camouflage (ReqC) — paper section III-B2.
+
+Sits between a core's LLC miss path and the shared request channel.
+Real LLC misses queue in a small buffer and release only when the bin
+shaper grants a credit; unused credits from the previous replenishment
+period drive a fake-request generator that emits non-cached reads to
+random addresses, so the post-shaper stream always sums to the
+configured distribution regardless of what the program is doing.
+
+:class:`PassthroughShaper` provides the identical interface with no
+shaping, used to build the unprotected baseline system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.core.distribution import InterArrivalHistogram
+from repro.core.shaper import BinShaper
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.noc.link import SharedLink
+
+
+class RequestCamouflage:
+    """Per-core request shaper with fake-traffic generation.
+
+    Parameters
+    ----------
+    core_id:
+        The core whose miss stream this shaper guards.
+    shaper:
+        The bin/credit machinery (one per direction per core).
+    link, port:
+        The shared request channel and this core's port on it.
+    rng:
+        Source for fake-request addresses.
+    address_space_bytes:
+        Fake requests target random line-aligned addresses below this
+        bound.
+    line_bytes:
+        Cache-line size for fake-address alignment.
+    buffer_capacity:
+        Miss-buffer depth; when full the core's fetch stage stalls.
+    generate_fake:
+        Disable to get a throttle-only shaper (used in the paper's
+        "without fake traffic" MI measurement).
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        shaper: BinShaper,
+        link: SharedLink,
+        port: int,
+        rng: DeterministicRng,
+        address_space_bytes: int = 1 << 30,
+        line_bytes: int = 64,
+        buffer_capacity: int = 32,
+        generate_fake: bool = True,
+    ) -> None:
+        if buffer_capacity <= 0:
+            raise ConfigurationError("buffer_capacity must be positive")
+        self.core_id = core_id
+        self.shaper = shaper
+        self.link = link
+        self.port = port
+        self._rng = rng
+        self._address_space = address_space_bytes
+        self._line_bytes = line_bytes
+        self._capacity = buffer_capacity
+        self._buffer: Deque[MemoryTransaction] = deque()
+        self.generate_fake = generate_fake
+
+        # Probe histograms: the intrinsic (pre-shaper) distribution and
+        # the shaped (post-shaper) distribution, both over the shaper's
+        # own bin geometry — the paper measures post-Camouflage traffic
+        # "with another hardware bin" (section IV-E1).
+        self.intrinsic_histogram = InterArrivalHistogram(shaper.spec)
+        self.shaped_histogram = InterArrivalHistogram(shaper.spec)
+
+        self.real_sent = 0
+        self.fake_sent = 0
+        self.stall_cycles = 0
+
+    # -- core-facing interface ------------------------------------------------
+
+    def can_accept(self, core_id: int) -> bool:
+        """Backpressure signal to the core's fetch stage."""
+        return len(self._buffer) < self._capacity
+
+    def submit(self, txn: MemoryTransaction, cycle: int) -> None:
+        """Queue a real LLC miss for shaped release."""
+        self._buffer.append(txn)
+        self.intrinsic_histogram.record(cycle)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+    # -- per-cycle operation ------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Release at most one transaction (real preferred over fake)."""
+        self.shaper.replenish_if_due(cycle)
+        if not self.link.can_inject(self.port):
+            if self._buffer:
+                self.stall_cycles += 1
+            return
+        if self._buffer and self.shaper.can_release_real(cycle):
+            txn = self._buffer.popleft()
+            self.shaper.release_real(cycle)
+            txn.shaper_release_cycle = cycle
+            self.link.inject(self.port, txn)
+            self.shaped_histogram.record(cycle)
+            self.real_sent += 1
+            return
+        if self._buffer:
+            self.stall_cycles += 1
+        if self.generate_fake and self.shaper.can_release_fake(cycle):
+            self.shaper.release_fake(cycle)
+            fake = self._make_fake(cycle)
+            self.link.inject(self.port, fake)
+            self.shaped_histogram.record(cycle)
+            self.fake_sent += 1
+
+    def _make_fake(self, cycle: int) -> MemoryTransaction:
+        """A non-cached read to a random line-aligned address."""
+        max_line = max(1, self._address_space // self._line_bytes)
+        address = self._rng.randint(0, max_line - 1) * self._line_bytes
+        txn = MemoryTransaction(
+            core_id=self.core_id,
+            address=address,
+            kind=TransactionType.FAKE_READ,
+            created_cycle=cycle,
+        )
+        txn.shaper_release_cycle = cycle
+        return txn
+
+
+class PassthroughShaper:
+    """No-shaping request path with the same interface as ReqC."""
+
+    def __init__(self, core_id: int, link: SharedLink, port: int,
+                 buffer_capacity: int = 32) -> None:
+        self.core_id = core_id
+        self.link = link
+        self.port = port
+        self._capacity = buffer_capacity
+        self._buffer: Deque[MemoryTransaction] = deque()
+        self.intrinsic_histogram = InterArrivalHistogram()
+        self.shaped_histogram = self.intrinsic_histogram  # identical stream
+        self.real_sent = 0
+        self.fake_sent = 0
+
+    def can_accept(self, core_id: int) -> bool:
+        return len(self._buffer) < self._capacity
+
+    def submit(self, txn: MemoryTransaction, cycle: int) -> None:
+        self._buffer.append(txn)
+        self.intrinsic_histogram.record(cycle)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+    def tick(self, cycle: int) -> None:
+        if self._buffer and self.link.can_inject(self.port):
+            txn = self._buffer.popleft()
+            txn.shaper_release_cycle = cycle
+            self.link.inject(self.port, txn)
+            self.real_sent += 1

@@ -1,0 +1,72 @@
+"""JSON (de)serialization for shaping configurations.
+
+Lets bin configurations travel between runs, be checked into
+experiment directories, or be passed to the CLI — the software half of
+what the paper's hypervisor does when it "writes special purpose
+control registers to configure the shape of the request/response
+distributions" (section III-A1).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import ConfigurationError
+from repro.core.bins import BinConfiguration, BinSpec
+
+_FORMAT = "repro-shaping-config-v1"
+
+
+def config_to_dict(spec: BinSpec, config: BinConfiguration) -> dict:
+    """A plain-dict form of one shaper configuration."""
+    if config.num_bins != spec.num_bins:
+        raise ConfigurationError("config/spec bin count mismatch")
+    return {
+        "format": _FORMAT,
+        "edges": list(spec.edges),
+        "replenish_period": spec.replenish_period,
+        "credits": list(config.credits),
+    }
+
+
+def config_from_dict(data: dict):
+    """Rebuild ``(BinSpec, BinConfiguration)`` from a plain dict."""
+    if not isinstance(data, dict):
+        raise ConfigurationError("shaping config must be a JSON object")
+    if data.get("format") != _FORMAT:
+        raise ConfigurationError(
+            f"unsupported shaping-config format {data.get('format')!r}"
+        )
+    for key in ("edges", "replenish_period", "credits"):
+        if key not in data:
+            raise ConfigurationError(f"shaping config missing {key!r}")
+    spec = BinSpec(
+        edges=tuple(int(e) for e in data["edges"]),
+        replenish_period=int(data["replenish_period"]),
+    )
+    config = BinConfiguration(tuple(int(c) for c in data["credits"]))
+    if config.num_bins != spec.num_bins:
+        raise ConfigurationError(
+            "credits length does not match the number of edges"
+        )
+    return spec, config
+
+
+def save_config(
+    spec: BinSpec, config: BinConfiguration, path: Union[str, Path]
+) -> None:
+    """Write a configuration to a JSON file."""
+    Path(path).write_text(
+        json.dumps(config_to_dict(spec, config), indent=2) + "\n"
+    )
+
+
+def load_config(path: Union[str, Path]):
+    """Read ``(BinSpec, BinConfiguration)`` from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{path}: invalid JSON ({error})") from None
+    return config_from_dict(data)

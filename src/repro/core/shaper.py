@@ -1,0 +1,288 @@
+"""The bin-based credit shaper (paper sections III-A1 and III-A2).
+
+One :class:`BinShaper` instance is the credit machinery of one
+direction (request or response) for one core.  Semantics, following
+the paper:
+
+* A transaction whose inter-arrival time is Δ (cycles since the
+  previous release, real or fake) may release when **some bin with
+  interval edge ≤ Δ holds a credit**; the *largest* such bin is
+  consumed, keeping the accounting aligned with the observed gap.
+  Otherwise the transaction stalls until Δ grows into a credited bin
+  or credits are replenished.
+* **Replenishment** happens every ``spec.replenish_period`` cycles:
+  leftover credits are latched into the *unused-credit* register file
+  (the second array of Figure 7) and the live credits reset to the
+  configured distribution.
+* **Fake traffic** draws from the latched unused credits of the
+  previous period: whenever no real transaction releases in a cycle
+  and an unused bin with edge ≤ Δ is credited, a fake release fires.
+  Fake traffic therefore tops the stream up to the configured
+  distribution one period behind the shortfall — exactly Figure 7's
+  compensation scheme ("the added fake traffic compensates for
+  requests missing from the previous replenishment period").
+
+At most one release (real *or* fake) can occur per cycle because the
+smallest bin edge is ≥ 1 cycle, modelling the single-transaction port
+width of the hardware.
+
+Reconfiguration (the GA's runtime knob) is double-buffered: a new
+:class:`~repro.core.bins.BinConfiguration` takes effect at the next
+replenishment boundary so a period is never shaped by two different
+distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.core.bins import BinConfiguration, BinSpec
+
+
+@dataclass(frozen=True)
+class ShaperState:
+    """Snapshot of the shaper's register file (for tests and debugging)."""
+
+    credits: Tuple[int, ...]
+    unused_credits: Tuple[int, ...]
+    last_release_cycle: int
+    next_replenish_cycle: int
+
+
+class BinShaper:
+    """Credit registers, replenishment and fake-traffic eligibility."""
+
+    def __init__(
+        self,
+        spec: BinSpec,
+        config: BinConfiguration,
+        start_cycle: int = 0,
+        strict: bool = False,
+        jitter_rng=None,
+    ) -> None:
+        """``strict`` selects the exact-bin release rule: a transaction
+        may only consume the credit of the bin its inter-arrival time
+        actually falls into (top bin excepted, to bound worst-case
+        delay).  This makes the observed distribution track the
+        configured one tightly — the Figure 11 accuracy mode — at some
+        extra stalling compared to the default rule, which accepts any
+        credited bin with edge ≤ Δ.
+
+        ``jitter_rng`` (a :class:`~repro.common.rng.DeterministicRng`)
+        enables the paper's section IV-B4 mitigation for fine-grained
+        within-replenishment-window attacks: each real release is
+        delayed by a random hold drawn from the width of the eligible
+        bin's interval, "to increase the timing uncertainty and
+        probability of memory conflict in a randomized manner".
+        """
+        if config.num_bins != spec.num_bins:
+            raise ConfigurationError(
+                f"configuration has {config.num_bins} bins but the spec "
+                f"has {spec.num_bins}"
+            )
+        self.spec = spec
+        self._strict = strict
+        self._jitter_rng = jitter_rng
+        # Cycle a pending jittered release is held until (None = no
+        # hold armed); re-armed per release, cleared when consumed.
+        self._jitter_hold_until: Optional[int] = None
+        self._config = config
+        self._credits: List[int] = list(config.credits)
+        self._unused: List[int] = [0] * spec.num_bins
+        self._last_release = start_cycle
+        self._next_replenish = start_cycle + spec.replenish_period
+        self._pending_config: Optional[BinConfiguration] = None
+
+        # Telemetry.
+        self.real_releases = 0
+        self.fake_releases = 0
+        self.replenishments = 0
+        self.last_unused_snapshot: Tuple[int, ...] = tuple([0] * spec.num_bins)
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def config(self) -> BinConfiguration:
+        return self._config
+
+    def reconfigure(self, config: BinConfiguration) -> None:
+        """Install a new distribution at the next replenishment boundary."""
+        if config.num_bins != self.spec.num_bins:
+            raise ConfigurationError("new configuration has wrong bin count")
+        self._pending_config = config
+
+    def state(self) -> ShaperState:
+        return ShaperState(
+            credits=tuple(self._credits),
+            unused_credits=tuple(self._unused),
+            last_release_cycle=self._last_release,
+            next_replenish_cycle=self._next_replenish,
+        )
+
+    # -- replenishment ------------------------------------------------------------
+
+    def replenish_if_due(self, cycle: int) -> int:
+        """Process any replenishment boundaries up to ``cycle``.
+
+        Returns the number of boundaries crossed (normally 0 or 1; more
+        only if the caller skipped cycles).  On each boundary the
+        leftover credits are latched as the unused-credit registers and
+        the live credits reload from the (possibly newly installed)
+        configuration.
+        """
+        boundaries = 0
+        while cycle >= self._next_replenish:
+            self._unused = list(self._credits)
+            self.last_unused_snapshot = tuple(self._unused)
+            if self._pending_config is not None:
+                self._config = self._pending_config
+                self._pending_config = None
+            self._credits = list(self._config.credits)
+            self._next_replenish += self.spec.replenish_period
+            self.replenishments += 1
+            boundaries += 1
+        return boundaries
+
+    # -- release eligibility ---------------------------------------------------------
+
+    def _delta(self, cycle: int) -> int:
+        if cycle < self._last_release:
+            raise ProtocolError(
+                f"shaper clock moved backwards ({cycle} < {self._last_release})"
+            )
+        return cycle - self._last_release
+
+    def _eligible_bin(self, registers: List[int], delta: int) -> Optional[int]:
+        """The bin a release at gap ``delta`` would consume, or None.
+
+        Default rule: the largest credited bin whose edge ≤ delta
+        (paper III-A1: stall only "if there are no credits available in
+        a bin that represent lower or equal to the ... inter-arrival
+        time").  Strict rule: only the exact bin containing delta, with
+        the top bin falling back to the default rule so a long-idle
+        stream can never deadlock.
+        """
+        if self._strict:
+            k = self.spec.bin_of(delta)
+            if self.spec.edges[k] <= delta and registers[k] > 0:
+                return k
+            if k < self.spec.num_bins - 1:
+                return None
+            # Top-bin fallback: behave like the default rule.
+        chosen: Optional[int] = None
+        for k, edge in enumerate(self.spec.edges):
+            if edge > delta:
+                break
+            if registers[k] > 0:
+                chosen = k
+        return chosen
+
+    def _bin_interval_width(self, bin_index: int) -> int:
+        """Width of a bin's inter-arrival interval (for jitter draws)."""
+        edges = self.spec.edges
+        if bin_index + 1 < len(edges):
+            return edges[bin_index + 1] - edges[bin_index]
+        return edges[bin_index]
+
+    def can_release_real(self, cycle: int) -> bool:
+        """May a real transaction release this cycle?
+
+        With jitter enabled, the first cycle a release *would* be
+        eligible arms a random hold inside the eligible bin's interval
+        (hardware latches the draw); the release is permitted once the
+        hold expires — the section IV-B4 randomization.
+        """
+        bin_index = self._eligible_bin(self._credits, self._delta(cycle))
+        if bin_index is None:
+            return False
+        if self._jitter_rng is None:
+            return True
+        if self._jitter_hold_until is None:
+            width = self._bin_interval_width(bin_index)
+            self._jitter_hold_until = cycle + self._jitter_rng.randint(
+                0, max(0, width - 1)
+            )
+        return cycle >= self._jitter_hold_until
+
+    def can_release_fake(self, cycle: int) -> bool:
+        """May a fake transaction release this cycle (unused credits)?"""
+        return self._eligible_bin(self._unused, self._delta(cycle)) is not None
+
+    def earliest_real_release(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle a real release becomes possible.
+
+        ``None`` when no live credits remain — the caller must wait for
+        the next replenishment (:attr:`next_replenish_cycle`).
+        """
+        delta = self._delta(cycle)
+        if self._eligible_bin(self._credits, delta) is not None:
+            return cycle
+        best: Optional[int] = None
+        for k, edge in enumerate(self.spec.edges):
+            if self._credits[k] > 0 and edge > delta:
+                candidate = self._last_release + edge
+                if best is None or candidate < best:
+                    best = candidate
+        if best is None and any(c > 0 for c in self._credits):
+            # Strict mode with only already-passed bins left: the
+            # top-bin fallback fires once delta reaches the last edge.
+            best = self._last_release + self.spec.edges[-1]
+        return best
+
+    @property
+    def next_replenish_cycle(self) -> int:
+        return self._next_replenish
+
+    # -- release actions -------------------------------------------------------------
+
+    def release_real(self, cycle: int) -> int:
+        """Consume a credit for a real release; returns the bin index."""
+        delta = self._delta(cycle)
+        bin_index = self._eligible_bin(self._credits, delta)
+        if bin_index is None:
+            raise ProtocolError(
+                f"real release at cycle {cycle} without an eligible credit "
+                f"(delta={delta}, credits={self._credits})"
+            )
+        if self._jitter_hold_until is not None and cycle < self._jitter_hold_until:
+            raise ProtocolError(
+                f"real release at cycle {cycle} before its jitter hold "
+                f"expires ({self._jitter_hold_until})"
+            )
+        self._credits[bin_index] -= 1
+        self._last_release = cycle
+        self._jitter_hold_until = None
+        self.real_releases += 1
+        return bin_index
+
+    def release_fake(self, cycle: int) -> int:
+        """Consume an unused credit for a fake release; returns the bin."""
+        delta = self._delta(cycle)
+        bin_index = self._eligible_bin(self._unused, delta)
+        if bin_index is None:
+            raise ProtocolError(
+                f"fake release at cycle {cycle} without an eligible unused "
+                f"credit (delta={delta}, unused={self._unused})"
+            )
+        self._unused[bin_index] -= 1
+        self._last_release = cycle
+        self.fake_releases += 1
+        return bin_index
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def credits_remaining(self) -> Tuple[int, ...]:
+        return tuple(self._credits)
+
+    def unused_remaining(self) -> Tuple[int, ...]:
+        return tuple(self._unused)
+
+    def unused_total_at_last_replenish(self) -> int:
+        """Sum of credits latched unused at the most recent boundary.
+
+        This is the number RespC sends to the memory scheduler with its
+        priority warning (paper section III-B1).
+        """
+        return sum(self.last_unused_snapshot)

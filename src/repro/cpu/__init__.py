@@ -1,0 +1,15 @@
+"""Trace-driven out-of-order core model.
+
+A USIMM-style approximation of the paper's 4-wide, 128-entry-window
+core (Table II): instructions enter a fixed-size window at fetch width,
+memory instructions probe the cache hierarchy as they enter, loads
+block retirement until their line returns, and the MSHR file bounds
+memory-level parallelism.  This captures what matters for the timing
+channel — how memory latency turns into program slowdown — without
+simulating a full pipeline.
+"""
+
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+__all__ = ["Core", "CoreConfig", "MemoryTrace", "TraceRecord"]

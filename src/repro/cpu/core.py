@@ -1,0 +1,261 @@
+"""USIMM-style trace-driven out-of-order core.
+
+Model summary (per cycle):
+
+* **Fetch** — up to ``width`` instructions enter the instruction
+  window, bounded by ``window_size``.  When the next instruction is a
+  memory op it probes the cache hierarchy immediately (out-of-order
+  issue): on-chip hits complete after the hit latency; LLC misses
+  allocate an MSHR (merging same-line misses) and emit a
+  :class:`~repro.memctrl.transaction.MemoryTransaction` into the
+  request sink (the ReqC shaper, or the NoC when unshaped).  Fetch
+  stalls when the window, the MSHR file, or the request sink is full.
+* **Retire** — up to ``width`` instructions retire in order; a load
+  blocks retirement until its fill arrives (stores retire once issued,
+  as with a store buffer).
+
+The ratio "cycles stalled on memory / total cycles" is exactly the α
+of the MISE slowdown model the paper's genetic algorithm uses, so the
+core tracks it natively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.cache.hierarchy import AccessOutcome, CacheHierarchy
+from repro.cache.mshr import MshrFile
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.cpu.trace import MemoryTrace
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Pipeline parameters (paper Table II defaults)."""
+
+    width: int = 4
+    window_size: int = 128
+    mshr_entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError(f"width must be positive: {self.width}")
+        if self.window_size < self.width:
+            raise ConfigurationError("window must hold at least one fetch group")
+        if self.mshr_entries <= 0:
+            raise ConfigurationError("mshr_entries must be positive")
+
+
+@dataclass
+class _PendingLoad:
+    """An in-window load: sequence number and completion cycle."""
+
+    seq: int
+    completion_cycle: Optional[int]  # None while waiting for a fill
+    line_address: int
+
+
+class Core:
+    """One trace-driven core with private caches and MSHRs.
+
+    The ``request_sink`` is any object with ``can_accept(core_id)`` and
+    ``submit(txn, cycle)``; the system wires either a Camouflage
+    request shaper or a plain NoC adapter here.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: MemoryTrace,
+        hierarchy: CacheHierarchy,
+        request_sink,
+        config: Optional[CoreConfig] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config or CoreConfig()
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.request_sink = request_sink
+        self.mshrs = MshrFile(self.config.mshr_entries)
+
+        # Trace cursor.
+        self._record_index = 0
+        self._trace_length = len(trace)
+        self._nonmem_remaining = (
+            trace[0].nonmem_insts if self._trace_length else 0
+        )
+
+        # Window state.
+        self._seq_fetched = 0
+        self._seq_retired = 0
+        self._pending_loads: Deque[_PendingLoad] = deque()
+        # Loads waiting for a fill, by line address.
+        self._waiting_by_line: Dict[int, List[_PendingLoad]] = {}
+
+        # Statistics.
+        self.cycles = 0
+        self.memory_stall_cycles = 0
+        self.fetch_stall_cycles = 0
+        self.finish_cycle: Optional[int] = None
+        self.demand_requests = 0
+        self.writeback_requests = 0
+
+    # -- observers -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """All trace instructions fetched and retired."""
+        return (
+            self._record_index >= self._trace_length
+            and self._seq_retired == self._seq_fetched
+        )
+
+    @property
+    def retired_instructions(self) -> int:
+        return self._seq_retired
+
+    @property
+    def window_occupancy(self) -> int:
+        return self._seq_fetched - self._seq_retired
+
+    @property
+    def outstanding_misses(self) -> int:
+        return len(self.mshrs)
+
+    def ipc(self) -> float:
+        """Retired instructions per cycle so far."""
+        return self._seq_retired / self.cycles if self.cycles else 0.0
+
+    def memory_stall_fraction(self) -> float:
+        """MISE's α: fraction of cycles stalled on memory."""
+        return self.memory_stall_cycles / self.cycles if self.cycles else 0.0
+
+    # -- per-cycle operation ----------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Fetch and retire for one cycle."""
+        if self.done:
+            return
+        self.cycles += 1
+        self._fetch(cycle)
+        self._retire(cycle)
+        if self.done and self.finish_cycle is None:
+            self.finish_cycle = cycle
+
+    def _fetch(self, cycle: int) -> None:
+        budget = self.config.width
+        while budget > 0 and self._record_index < self._trace_length:
+            if self.window_occupancy >= self.config.window_size:
+                return
+            if self._nonmem_remaining > 0:
+                take = min(
+                    budget,
+                    self._nonmem_remaining,
+                    self.config.window_size - self.window_occupancy,
+                )
+                self._seq_fetched += take
+                self._nonmem_remaining -= take
+                budget -= take
+                continue
+            # Next instruction is the record's memory access.
+            if not self._issue_memory_access(cycle):
+                self.fetch_stall_cycles += 1
+                return
+            budget -= 1
+            self._record_index += 1
+            if self._record_index < self._trace_length:
+                self._nonmem_remaining = self.trace[self._record_index].nonmem_insts
+
+    def _issue_memory_access(self, cycle: int) -> bool:
+        """Probe the caches for the current record; False ⇒ stall fetch."""
+        record = self.trace[self._record_index]
+        result = self.hierarchy.access(record.address, record.is_write)
+        seq = self._seq_fetched
+        if result.outcome is not AccessOutcome.MISS:
+            if not record.is_write:
+                self._pending_loads.append(
+                    _PendingLoad(seq, cycle + result.latency, result.line_address)
+                )
+            self._seq_fetched += 1
+            return True
+
+        line = result.line_address
+        existing = self.mshrs.lookup(line)
+        if existing is not None:
+            self.mshrs.merge(line, seq, record.is_write)
+        else:
+            if self.mshrs.is_full:
+                return False
+            if not self.request_sink.can_accept(self.core_id):
+                return False
+            self.mshrs.allocate(line, cycle, seq, record.is_write)
+            txn = MemoryTransaction(
+                core_id=self.core_id,
+                address=line,
+                kind=TransactionType.READ,
+                created_cycle=cycle,
+            )
+            self.request_sink.submit(txn, cycle)
+            self.demand_requests += 1
+        if not record.is_write:
+            load = _PendingLoad(seq, None, line)
+            self._pending_loads.append(load)
+            self._waiting_by_line.setdefault(line, []).append(load)
+        self._seq_fetched += 1
+        return True
+
+    def _retire(self, cycle: int) -> None:
+        budget = self.config.width
+        while budget > 0 and self._seq_retired < self._seq_fetched:
+            if self._pending_loads and self._pending_loads[0].seq == self._seq_retired:
+                head = self._pending_loads[0]
+                if head.completion_cycle is None or head.completion_cycle > cycle:
+                    if budget == self.config.width:
+                        self.memory_stall_cycles += 1
+                    return
+                self._pending_loads.popleft()
+            self._seq_retired += 1
+            budget -= 1
+
+    # -- response handling -----------------------------------------------------
+
+    def receive_fill(self, txn: MemoryTransaction, cycle: int) -> None:
+        """A memory response arrived for this core.
+
+        Fake transactions and write-backs carry no architectural state:
+        they are dropped.  Demand fills release their MSHR entry, wake
+        every load waiting on the line, and install the line into the
+        caches (possibly generating write-back transactions, submitted
+        through the same request sink as demand traffic).
+        """
+        if txn.core_id != self.core_id:
+            raise ProtocolError(
+                f"core {self.core_id} received a fill for core {txn.core_id}"
+            )
+        if txn.is_fake or txn.is_write:
+            return
+        line = txn.address
+        entry = self.mshrs.release(line)
+        for load in self._waiting_by_line.pop(line, []):
+            load.completion_cycle = cycle
+        writebacks = self.hierarchy.fill(line, entry.is_write)
+        for victim_address in writebacks:
+            self._emit_writeback(victim_address, cycle)
+
+    def _emit_writeback(self, address: int, cycle: int) -> None:
+        """Send a dirty victim to memory (best effort, buffered by sink)."""
+        txn = MemoryTransaction(
+            core_id=self.core_id,
+            address=address,
+            kind=TransactionType.WRITE,
+            created_cycle=cycle,
+        )
+        if self.request_sink.can_accept(self.core_id):
+            self.request_sink.submit(txn, cycle)
+            self.writeback_requests += 1
+        # A full sink drops the writeback: timing-wise this models an
+        # eviction buffer absorbing it; the line's data payload is not
+        # simulated so correctness is unaffected.

@@ -1,0 +1,89 @@
+"""Instruction trace format for the trace-driven core.
+
+A trace is a sequence of :class:`TraceRecord`s; each record is "run
+``nonmem_insts`` non-memory instructions, then perform one memory
+access".  This is the classic compressed format used by trace-driven
+memory-system simulators (USIMM, SDSim's front end): the non-memory
+portion only matters through its length, while every memory access is
+explicit so the cache hierarchy sees the true address stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """``nonmem_insts`` plain instructions followed by one memory op."""
+
+    nonmem_insts: int
+    address: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nonmem_insts < 0:
+            raise ConfigurationError(
+                f"nonmem_insts must be non-negative, got {self.nonmem_insts}"
+            )
+        if self.address < 0:
+            raise ConfigurationError(f"negative address {self.address:#x}")
+
+    @property
+    def instruction_count(self) -> int:
+        """Instructions this record contributes (non-memory + the access)."""
+        return self.nonmem_insts + 1
+
+
+class MemoryTrace:
+    """An immutable sequence of trace records with summary accessors."""
+
+    def __init__(self, records: Iterable[TraceRecord], name: str = "trace") -> None:
+        self._records: List[TraceRecord] = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> Sequence[TraceRecord]:
+        return tuple(self._records)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instruction count across all records."""
+        return sum(r.instruction_count for r in self._records)
+
+    @property
+    def memory_accesses(self) -> int:
+        return len(self._records)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self._records:
+            return 0.0
+        return sum(1 for r in self._records if r.is_write) / len(self._records)
+
+    def mpki(self) -> float:
+        """Memory accesses per kilo-instruction (intensity summary)."""
+        insts = self.total_instructions
+        return 1000.0 * self.memory_accesses / insts if insts else 0.0
+
+    def truncated(self, max_accesses: int) -> "MemoryTrace":
+        """A prefix of this trace with at most ``max_accesses`` records."""
+        return MemoryTrace(self._records[:max_accesses], name=self.name)
+
+    def repeated(self, times: int) -> "MemoryTrace":
+        """This trace concatenated with itself ``times`` times."""
+        if times <= 0:
+            raise ConfigurationError(f"repeat count must be positive: {times}")
+        return MemoryTrace(self._records * times, name=self.name)

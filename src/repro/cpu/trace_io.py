@@ -1,0 +1,100 @@
+"""Trace persistence: save and load traces as portable text files.
+
+Format (one record per line, ``#`` comments allowed)::
+
+    # repro-trace v1 name=mcf
+    12 0x7f3a40 R
+    0 0x7f3a80 W
+
+Files ending in ``.gz`` are transparently gzip-compressed.  The format
+is deliberately trivial so traces captured from other tools (Pin,
+DynamoRIO, gem5 scripts) can be converted with a one-liner and driven
+through this simulator.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+_HEADER_PREFIX = "# repro-trace v1"
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_trace(trace: MemoryTrace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (gzip if the name ends in .gz)."""
+    path = Path(path)
+    with _open(path, "w") as handle:
+        handle.write(f"{_HEADER_PREFIX} name={trace.name}\n")
+        for record in trace:
+            kind = "W" if record.is_write else "R"
+            handle.write(
+                f"{record.nonmem_insts} {record.address:#x} {kind}\n"
+            )
+
+
+def load_trace(path: Union[str, Path]) -> MemoryTrace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises :class:`~repro.common.errors.ConfigurationError` on any
+    malformed line, with the line number in the message.
+    """
+    path = Path(path)
+    name = path.stem
+    records = []
+    with _open(path, "r") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith(_HEADER_PREFIX):
+                    for token in line.split():
+                        if token.startswith("name="):
+                            name = token[len("name="):]
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: expected "
+                    f"'<gap> <address> <R|W>', got {line!r}"
+                )
+            gap_text, address_text, kind = parts
+            if kind not in ("R", "W"):
+                raise ConfigurationError(
+                    f"{path}:{line_number}: access kind must be R or W, "
+                    f"got {kind!r}"
+                )
+            try:
+                gap = int(gap_text)
+                address = int(address_text, 0)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: {error}"
+                ) from None
+            records.append(
+                TraceRecord(
+                    nonmem_insts=gap, address=address, is_write=kind == "W"
+                )
+            )
+    return MemoryTrace(records, name=name)
+
+
+def trace_to_string(trace: MemoryTrace) -> str:
+    """The text-format serialization as a string (for tests/pipes)."""
+    buffer = io.StringIO()
+    buffer.write(f"{_HEADER_PREFIX} name={trace.name}\n")
+    for record in trace:
+        kind = "W" if record.is_write else "R"
+        buffer.write(f"{record.nonmem_insts} {record.address:#x} {kind}\n")
+    return buffer.getvalue()

@@ -1,0 +1,98 @@
+"""DRAM geometry: channels, ranks, banks, rows, columns.
+
+The paper's simulated organization (Table II) is 1 channel, 1 rank per
+channel, 8 banks per rank, 8 KB row buffer — those are the defaults
+here.  All dimensions must be powers of two so that physical-address
+decode is pure bit slicing, as in real controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.util import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class DramOrganization:
+    """Geometry of the DRAM subsystem.
+
+    ``row_buffer_bytes`` is the size of one bank's row (the unit of
+    row-buffer locality); ``access_bytes`` is the size of one burst
+    access (a cache line, 64 B in the paper).
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    rows_per_bank: int = 16384
+    row_buffer_bytes: int = 8192
+    access_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "ranks_per_channel",
+            "banks_per_rank",
+            "rows_per_bank",
+            "row_buffer_bytes",
+            "access_bytes",
+        ):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"DRAM organization field {name} must be a power of two, "
+                    f"got {value}"
+                )
+        if self.access_bytes > self.row_buffer_bytes:
+            raise ConfigurationError(
+                "access size cannot exceed the row buffer "
+                f"({self.access_bytes} > {self.row_buffer_bytes})"
+            )
+
+    @property
+    def columns_per_row(self) -> int:
+        """Number of cache-line-sized accesses per row."""
+        return self.row_buffer_bytes // self.access_bytes
+
+    @property
+    def total_banks(self) -> int:
+        """Banks across all ranks and channels."""
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total addressable bytes."""
+        return (
+            self.channels
+            * self.ranks_per_channel
+            * self.banks_per_rank
+            * self.rows_per_bank
+            * self.row_buffer_bytes
+        )
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits below the access granularity (byte offset in a line)."""
+        return log2_int(self.access_bytes)
+
+    @property
+    def column_bits(self) -> int:
+        return log2_int(self.columns_per_row)
+
+    @property
+    def bank_bits(self) -> int:
+        return log2_int(self.banks_per_rank)
+
+    @property
+    def rank_bits(self) -> int:
+        return log2_int(self.ranks_per_channel)
+
+    @property
+    def channel_bits(self) -> int:
+        return log2_int(self.channels)
+
+    @property
+    def row_bits(self) -> int:
+        return log2_int(self.rows_per_bank)

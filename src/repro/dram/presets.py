@@ -1,0 +1,57 @@
+"""Named DRAM timing presets.
+
+The paper simulates DDR3-1333 (Table II); these presets add the
+neighbouring grades so substrate-sensitivity ablations can check that
+Camouflage's conclusions do not hinge on one speed bin.  All values
+are in controller cycles at the respective DRAM clock, derived from
+standard JEDEC datasheet timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import ConfigurationError
+from repro.dram.timing import DramTiming
+
+#: DDR3-1066F (7-7-7): slower clock, fewer cycles per constraint.
+DDR3_1066 = DramTiming(
+    tRCD=7, tRP=7, tCAS=7, tCWL=6, tRAS=20, tWR=8, tWTR=4, tRTP=4,
+    tCCD=4, tRRD=4, tFAW=20, burst_length=8, tRFC=59, tREFI=4160,
+    tRTRS=1,
+)
+
+#: DDR3-1333H (9-9-9): the paper's configuration (Table II).
+DDR3_1333 = DramTiming()
+
+#: DDR3-1600K (11-11-11).
+DDR3_1600 = DramTiming(
+    tRCD=11, tRP=11, tCAS=11, tCWL=8, tRAS=28, tWR=12, tWTR=6, tRTP=6,
+    tCCD=4, tRRD=5, tFAW=24, burst_length=8, tRFC=88, tREFI=6240,
+    tRTRS=1,
+)
+
+#: DDR4-2400 (17-17-17): double the clock, deeper latencies, tighter
+#: bank groups approximated by a larger tCCD.
+DDR4_2400 = DramTiming(
+    tRCD=17, tRP=17, tCAS=17, tCWL=12, tRAS=39, tWR=18, tWTR=9, tRTP=9,
+    tCCD=6, tRRD=6, tFAW=26, burst_length=8, tRFC=312, tREFI=9360,
+    tRTRS=2,
+)
+
+PRESETS: Dict[str, DramTiming] = {
+    "ddr3-1066": DDR3_1066,
+    "ddr3-1333": DDR3_1333,
+    "ddr3-1600": DDR3_1600,
+    "ddr4-2400": DDR4_2400,
+}
+
+
+def timing_preset(name: str) -> DramTiming:
+    """Look up a preset by name (case-insensitive)."""
+    try:
+        return PRESETS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown DRAM preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None

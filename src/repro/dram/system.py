@@ -1,0 +1,177 @@
+"""Top-level DRAM device model.
+
+:class:`DramSystem` is the object the memory controller drives.  It
+answers three questions:
+
+1. *What command does a transaction need next?* —
+   :meth:`required_command`: PRECHARGE on a row conflict, ACTIVATE on a
+   closed bank, READ/WRITE on a row hit.
+2. *Can that command legally issue this cycle?* — :meth:`can_issue`.
+3. *Issue it* — :meth:`issue`; column commands return the cycle their
+   data burst completes, which becomes the transaction's response
+   timestamp.
+
+Refresh is handled by :meth:`refresh_due` / :meth:`issue_refresh`,
+which the controller consults before normal scheduling (refresh has
+absolute priority once due, as in DRAMSim2's refresh-first policy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ProtocolError
+from repro.dram.address import DecodedAddress
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandType, DramCommand
+from repro.dram.organization import DramOrganization
+from repro.dram.timing import DramTiming
+
+
+class DramSystem:
+    """All channels of the memory subsystem behind one controller."""
+
+    def __init__(
+        self,
+        timing: Optional[DramTiming] = None,
+        organization: Optional[DramOrganization] = None,
+        enable_refresh: bool = True,
+    ) -> None:
+        self.timing = timing or DramTiming()
+        self.organization = organization or DramOrganization()
+        self.channels = [
+            Channel(
+                self.timing,
+                self.organization.ranks_per_channel,
+                self.organization.banks_per_rank,
+            )
+            for _ in range(self.organization.channels)
+        ]
+        self._enable_refresh = enable_refresh
+        # Next refresh deadline per (channel, rank).
+        self._refresh_deadline = {
+            (c, r): self.timing.tREFI
+            for c in range(self.organization.channels)
+            for r in range(self.organization.ranks_per_channel)
+        }
+
+    # -- structure accessors ------------------------------------------------
+
+    def bank(self, address: DecodedAddress) -> Bank:
+        """The bank a decoded address targets."""
+        return self.channels[address.channel].ranks[address.rank].banks[address.bank]
+
+    # -- command planning ---------------------------------------------------
+
+    def required_command(self, address: DecodedAddress, is_write: bool) -> DramCommand:
+        """The next command needed to service an access to ``address``."""
+        bank = self.bank(address)
+        if bank.is_row_hit(address.row):
+            kind = CommandType.WRITE if is_write else CommandType.READ
+        elif bank.open_row is None:
+            kind = CommandType.ACTIVATE
+        else:
+            kind = CommandType.PRECHARGE
+        return DramCommand(kind=kind, address=address)
+
+    def is_row_hit(self, address: DecodedAddress) -> bool:
+        """True when an access to ``address`` would hit an open row."""
+        return self.bank(address).is_row_hit(address.row)
+
+    def can_advance(self, address: DecodedAddress, is_write: bool,
+                    cycle: int) -> bool:
+        """Can the *required* command for this access issue at ``cycle``?
+
+        Allocation-free fast path for schedulers that scan the whole
+        transaction queue every cycle; equivalent to
+        ``can_issue(required_command(address, is_write), cycle)``.
+        """
+        channel = self.channels[address.channel]
+        bank = channel.ranks[address.rank].banks[address.bank]
+        if bank.is_row_hit(address.row):
+            if is_write:
+                return channel.can_write(address.rank, address.bank,
+                                         address.row, cycle)
+            return channel.can_read(address.rank, address.bank,
+                                    address.row, cycle)
+        if bank.open_row is None:
+            return channel.can_activate(address.rank, address.bank, cycle)
+        return channel.can_precharge(address.rank, address.bank, cycle)
+
+    def can_issue(self, command: DramCommand, cycle: int) -> bool:
+        """May ``command`` legally issue at ``cycle``?"""
+        a = command.address
+        channel = self.channels[a.channel]
+        if command.kind is CommandType.ACTIVATE:
+            return channel.can_activate(a.rank, a.bank, cycle)
+        if command.kind is CommandType.PRECHARGE:
+            return channel.can_precharge(a.rank, a.bank, cycle)
+        if command.kind is CommandType.READ:
+            return channel.can_read(a.rank, a.bank, a.row, cycle)
+        if command.kind is CommandType.WRITE:
+            return channel.can_write(a.rank, a.bank, a.row, cycle)
+        if command.kind is CommandType.REFRESH:
+            return channel.can_refresh(a.rank, cycle)
+        raise ProtocolError(f"unknown command kind {command.kind}")
+
+    def issue(self, command: DramCommand, cycle: int,
+              auto_precharge: bool = False) -> Optional[int]:
+        """Issue ``command``; returns burst-complete cycle for column cmds.
+
+        ``auto_precharge`` applies only to column commands (RDA/WRA:
+        the bank closes itself after the access, the closed-page
+        policy's primitive).
+        """
+        a = command.address
+        channel = self.channels[a.channel]
+        if command.kind is CommandType.ACTIVATE:
+            channel.activate(a.rank, a.bank, a.row, cycle)
+            return None
+        if command.kind is CommandType.PRECHARGE:
+            channel.precharge(a.rank, a.bank, cycle)
+            return None
+        if command.kind is CommandType.READ:
+            return channel.read(a.rank, a.bank, a.row, cycle, auto_precharge)
+        if command.kind is CommandType.WRITE:
+            return channel.write(a.rank, a.bank, a.row, cycle, auto_precharge)
+        if command.kind is CommandType.REFRESH:
+            channel.refresh(a.rank, cycle)
+            self._refresh_deadline[(a.channel, a.rank)] = cycle + self.timing.tREFI
+            return None
+        raise ProtocolError(f"unknown command kind {command.kind}")
+
+    # -- refresh management ---------------------------------------------------
+
+    def refresh_due(self, cycle: int):
+        """(channel, rank) pairs whose refresh deadline has passed."""
+        if not self._enable_refresh:
+            return []
+        return [key for key, deadline in self._refresh_deadline.items()
+                if cycle >= deadline]
+
+    def refresh_precharge_targets(self, channel: int, rank: int):
+        """Banks that must be precharged before a refresh can issue."""
+        rk = self.channels[channel].ranks[rank]
+        return [i for i, b in enumerate(rk.banks) if b.open_row is not None]
+
+    # -- statistics --------------------------------------------------------------
+
+    def total_row_hits(self) -> int:
+        return sum(
+            b.row_hit_count
+            for ch in self.channels
+            for rk in ch.ranks
+            for b in rk.banks
+        )
+
+    def total_activates(self) -> int:
+        return sum(
+            b.activate_count
+            for ch in self.channels
+            for rk in ch.ranks
+            for b in rk.banks
+        )
+
+    def data_bus_busy_cycles(self) -> int:
+        return sum(ch.data_bus_busy_cycles for ch in self.channels)

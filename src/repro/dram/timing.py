@@ -1,0 +1,108 @@
+"""DDR3 timing parameters.
+
+All values are expressed in memory-controller clock cycles.  The
+defaults model DDR3-1333 (667 MHz DRAM clock), matching the paper's
+simulated configuration (Table II: "DDR3, 1333 MHz").  For simplicity
+the whole simulator runs on a single clock domain; the CPU-to-DRAM
+frequency ratio is folded into the core model's instruction throughput
+rather than modelled as a second clock.
+
+Constraint glossary (standard JEDEC DDR3 names):
+
+========  ==========================================================
+tRCD      ACTIVATE to internal READ/WRITE delay (row to column)
+tRP       PRECHARGE to ACTIVATE delay (same bank)
+tCAS/CL   READ command to first data beat
+tCWL      WRITE command to first data beat
+tRAS      ACTIVATE to PRECHARGE minimum (row must stay open this long)
+tRC       ACTIVATE to ACTIVATE, same bank (tRAS + tRP)
+tWR       end of write burst to PRECHARGE (write recovery)
+tWTR      end of write burst to READ command, same rank
+tRTP      READ to PRECHARGE, same bank
+tCCD      column command to column command (burst gap)
+tRRD      ACTIVATE to ACTIVATE, different banks, same rank
+tFAW      rolling window in which at most four ACTIVATEs per rank fit
+tBURST    data bus beats per access = burst_length / 2 (DDR)
+tRFC      REFRESH command duration (rank unavailable)
+tREFI     average interval between REFRESH commands
+tRTRS     rank-to-rank data-bus switch penalty
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """A bundle of DDR3 timing constraints, in controller cycles.
+
+    The defaults correspond to DDR3-1333H (9-9-9) with an 8-beat burst,
+    the configuration simulated in the paper.
+    """
+
+    tRCD: int = 9
+    tRP: int = 9
+    tCAS: int = 9
+    tCWL: int = 7
+    tRAS: int = 24
+    tWR: int = 10
+    tWTR: int = 5
+    tRTP: int = 5
+    tCCD: int = 4
+    tRRD: int = 4
+    tFAW: int = 20
+    burst_length: int = 8
+    tRFC: int = 74
+    tREFI: int = 5200
+    tRTRS: int = 1
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"DRAM timing parameter {f.name} must be positive, got {value}"
+                )
+        if self.burst_length % 2 != 0:
+            raise ConfigurationError(
+                f"burst_length must be even (DDR transfers 2 beats/cycle), "
+                f"got {self.burst_length}"
+            )
+        if self.tRAS + self.tRP < self.tRCD:
+            raise ConfigurationError("inconsistent timing: tRAS + tRP < tRCD")
+
+    @property
+    def tBURST(self) -> int:
+        """Data-bus occupancy of one access, in cycles (DDR: BL/2)."""
+        return self.burst_length // 2
+
+    @property
+    def tRC(self) -> int:
+        """ACTIVATE-to-ACTIVATE minimum for one bank (tRAS + tRP)."""
+        return self.tRAS + self.tRP
+
+    @property
+    def read_latency(self) -> int:
+        """Cycles from READ issue until the last data beat returns."""
+        return self.tCAS + self.tBURST
+
+    @property
+    def write_latency(self) -> int:
+        """Cycles from WRITE issue until the last data beat is absorbed."""
+        return self.tCWL + self.tBURST
+
+    def row_hit_latency(self) -> int:
+        """Best-case read service time (open row): CL + burst."""
+        return self.read_latency
+
+    def row_closed_latency(self) -> int:
+        """Read service time when the bank is precharged: tRCD + CL + burst."""
+        return self.tRCD + self.read_latency
+
+    def row_conflict_latency(self) -> int:
+        """Read service time on a row-buffer conflict: tRP + tRCD + CL + burst."""
+        return self.tRP + self.tRCD + self.read_latency

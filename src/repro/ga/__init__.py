@@ -1,0 +1,32 @@
+"""Genetic-algorithm bin-configuration tuning (paper section IV-C).
+
+The BDC search space is ``MAX_CREDITS^20`` (two 10-bin vectors); the
+paper tunes it with an *online* genetic algorithm that alternates
+profiling (each program at highest priority, to get its
+no-interference service rate for the MISE slowdown model) with child
+evaluation windows on live hardware.
+
+* :class:`GeneticAlgorithm` — generic integer-vector GA (selection,
+  uniform crossover, per-gene mutation, elitism).
+* :func:`mise_slowdown` — MISE's slowdown estimate from α (memory
+  stall fraction) and the two service rates.
+* :class:`OnlineGaTuner` — the Figure 8 protocol driven against a live
+  :class:`~repro.sim.System`.
+"""
+
+from repro.ga.genetic import GaConfig, GeneticAlgorithm
+from repro.ga.mise import MiseMeasurement, mise_slowdown
+from repro.ga.online import OnlineGaTuner, ShaperHandle, TunerConfig
+from repro.ga.phase import PhaseDetector, PhaseDetectorConfig
+
+__all__ = [
+    "GaConfig",
+    "GeneticAlgorithm",
+    "MiseMeasurement",
+    "OnlineGaTuner",
+    "PhaseDetector",
+    "PhaseDetectorConfig",
+    "ShaperHandle",
+    "TunerConfig",
+    "mise_slowdown",
+]

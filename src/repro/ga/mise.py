@@ -1,0 +1,64 @@
+"""MISE slowdown estimation (Subramanian et al., HPCA 2013).
+
+The paper's online GA scores bin configurations by *average slowdown*,
+estimated with MISE's online model (section IV-C): an application's
+execution time splits into a memory-stall fraction α and a compute
+fraction (1 − α); only the stall fraction scales with memory service
+rate, so
+
+    slowdown = (1 − α) + α · (service_rate_alone / service_rate_shared)
+
+where ``service_rate_alone`` is measured by briefly running the
+application at highest priority in the memory scheduler (its requests
+never wait behind others — a proxy for running alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MiseMeasurement:
+    """One profiling window's raw numbers for one application."""
+
+    alpha: float
+    service_rate_alone: float
+    service_rate_shared: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0,1]: {self.alpha}")
+        if self.service_rate_alone < 0 or self.service_rate_shared < 0:
+            raise ConfigurationError("service rates must be non-negative")
+
+    @property
+    def slowdown(self) -> float:
+        return mise_slowdown(
+            self.alpha, self.service_rate_alone, self.service_rate_shared
+        )
+
+
+def mise_slowdown(
+    alpha: float, service_rate_alone: float, service_rate_shared: float
+) -> float:
+    """MISE slowdown estimate; see module docstring.
+
+    A zero shared rate with a non-zero alone rate means the shared
+    window starved completely; the estimate saturates rather than
+    dividing by zero so the GA can still rank such configurations
+    (they score terribly, as they should).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in [0,1]: {alpha}")
+    if service_rate_alone < 0 or service_rate_shared < 0:
+        raise ConfigurationError("service rates must be non-negative")
+    if service_rate_alone == 0:
+        # The app issued no memory traffic: memory cannot slow it down.
+        return 1.0
+    if service_rate_shared == 0:
+        return 1.0 + alpha * 1e6  # starved: effectively infinite
+    ratio = service_rate_alone / service_rate_shared
+    return (1.0 - alpha) + alpha * ratio

@@ -1,0 +1,318 @@
+"""The memory controller: queue + scheduler + DRAM command engine.
+
+Per cycle the controller:
+
+1. services refresh obligations (precharging open banks and issuing
+   REFRESH once a rank's tREFI deadline passes — refresh-pending ranks
+   are fenced off from normal scheduling so refresh cannot starve);
+2. asks its scheduling policy for a transaction to advance;
+3. issues that transaction's next required DRAM command (PRECHARGE /
+   ACTIVATE / READ / WRITE), stamping issue and data-ready cycles when
+   the column command finally goes out;
+4. moves transactions whose data burst has completed to the per-core
+   egress, where the response path (RespC shaper or plain NoC) picks
+   them up via :meth:`pop_responses`.
+
+Backpressure: :meth:`can_accept` is false when the transaction queue
+is full, which stalls the NoC, the request shapers and ultimately the
+cores — the contention chain the timing channel rides on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.rng import DeterministicRng
+from repro.dram.address import AddressMapping, DecodedAddress
+from repro.dram.commands import CommandType, DramCommand
+from repro.dram.system import DramSystem
+from repro.memctrl.queue import TransactionQueue
+from repro.memctrl.schedulers import FrFcfsScheduler, Scheduler
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.memctrl.write_queue import WriteQueue, WriteQueuePolicy
+
+
+class MemoryController:
+    """Shared memory controller for a multicore system.
+
+    Parameters
+    ----------
+    dram:
+        The DRAM device model to drive.
+    scheduler:
+        Scheduling policy; defaults to FR-FCFS.
+    mapping:
+        Default physical-address mapping.
+    per_core_mapping:
+        Optional per-core mappings (used by Fixed-Service bank
+        partitioning, where each core sees a private bank subset).
+    queue_capacity:
+        Transaction queue depth (32 in the paper's Table II).
+    """
+
+    def __init__(
+        self,
+        dram: DramSystem,
+        scheduler: Optional[Scheduler] = None,
+        mapping: Optional[AddressMapping] = None,
+        per_core_mapping: Optional[Dict[int, AddressMapping]] = None,
+        queue_capacity: int = 32,
+        egress_capacity: int = 16,
+        write_queue_policy: Optional["WriteQueuePolicy"] = None,
+        page_policy: str = "open",
+    ) -> None:
+        """``egress_capacity`` bounds each core's response return queue.
+
+        When a core's responses back up (e.g. its RespC shaper is
+        throttling), the controller stops issuing that core's column
+        commands — the return-channel flow control the paper describes
+        ("rate limit responses and prevent overflow on the return
+        channels", section V).  Backpressure then propagates naturally:
+        transaction queue → NoC → request shaper → core.
+
+        ``page_policy``: ``"open"`` (default — FR-FCFS exploits row
+        hits, the paper's base) or ``"closed"`` (every column command
+        carries auto-precharge; no row state survives an access, which
+        also removes the row-buffer side channel at a bandwidth cost).
+        """
+        self.dram = dram
+        self.scheduler = scheduler or FrFcfsScheduler()
+        self.mapping = mapping or AddressMapping(dram.organization)
+        self._per_core_mapping = dict(per_core_mapping or {})
+        if egress_capacity <= 0:
+            raise ConfigurationError("egress_capacity must be positive")
+        self.queue = TransactionQueue(queue_capacity)
+        # Optional dedicated write path (see repro.memctrl.write_queue):
+        # None (default) keeps writes in the main transaction queue.
+        self.write_queue = (
+            WriteQueue(write_queue_policy) if write_queue_policy else None
+        )
+        self._egress_capacity = egress_capacity
+        # Transactions whose column command issued, awaiting burst end.
+        self._in_flight: List[MemoryTransaction] = []
+        # Per-core in-flight counts, maintained incrementally so the
+        # per-cycle egress-room checks stay O(1).
+        self._in_flight_count: Dict[int, int] = {}
+        # Completed transactions per core, awaiting pickup.
+        self._egress: Dict[int, List[MemoryTransaction]] = {}
+        self._refresh_pending = set()
+        if page_policy not in ("open", "closed"):
+            raise ConfigurationError(f"unknown page policy {page_policy!r}")
+        self._page_policy = page_policy
+        self._dummy_rng = DeterministicRng(0xF5)
+        # Statistics.
+        self.issued_reads = 0
+        self.issued_writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.refreshes = 0
+        self.dummy_transactions = 0
+
+    # -- ingress ---------------------------------------------------------
+
+    def can_accept(self) -> bool:
+        """True while the ingress path has room.
+
+        Conservative when a write queue is configured: both queues must
+        have room, since the ingress does not know the next
+        transaction's direction in advance.
+        """
+        if self.queue.is_full:
+            return False
+        if self.write_queue is not None and self.write_queue.is_full:
+            return False
+        return True
+
+    def enqueue(self, txn: MemoryTransaction, cycle: int) -> None:
+        """Accept a transaction from the request path."""
+        if not self.can_accept():
+            raise ProtocolError("enqueue while the transaction queue is full")
+        mapping = self._per_core_mapping.get(txn.core_id, self.mapping)
+        txn.decoded = mapping.decode(txn.address)
+        txn.mc_arrival_cycle = cycle
+        if self.write_queue is not None and txn.is_write:
+            self.write_queue.push(txn)
+        else:
+            self.queue.push(txn)
+
+    # -- egress --------------------------------------------------------------
+
+    def pop_responses(
+        self, core_id: int, limit: Optional[int] = None
+    ) -> List[MemoryTransaction]:
+        """Drain up to ``limit`` completed transactions (oldest first).
+
+        Responses left behind keep occupying the bounded egress queue,
+        which throttles further column commands for this core.
+        """
+        ready = self._egress.get(core_id, [])
+        if limit is None or limit >= len(ready):
+            self._egress.pop(core_id, None)
+            return ready
+        if limit <= 0:
+            return []
+        taken, rest = ready[:limit], ready[limit:]
+        self._egress[core_id] = rest
+        return taken
+
+    def pending_response_count(self, core_id: int) -> int:
+        return len(self._egress.get(core_id, []))
+
+    def _egress_load(self, core_id: int) -> int:
+        """Occupied + committed slots of a core's return queue."""
+        return (
+            len(self._egress.get(core_id, ()))
+            + self._in_flight_count.get(core_id, 0)
+        )
+
+    def egress_has_room(self, core_id: int) -> bool:
+        return self._egress_load(core_id) < self._egress_capacity
+
+    # -- main loop --------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle: refresh, schedule, issue, complete."""
+        self._complete_bursts(cycle)
+        self._service_refresh(cycle)
+        self.scheduler.tick(cycle)
+        self._inject_scheduler_dummies(cycle)
+        self._schedule_and_issue(cycle)
+
+    def _inject_scheduler_dummies(self, cycle: int) -> None:
+        """Fill empty Fixed-Service slots with dummy transactions.
+
+        Only schedulers exposing ``dummy_cores_due`` (FS with
+        ``dummy_fill``) trigger this; the dummy is a fake read to a
+        random address in the owning core's partition.
+        """
+        due_fn = getattr(self.scheduler, "dummy_cores_due", None)
+        if due_fn is None:
+            return
+        for core_id in due_fn(self.queue, cycle):
+            if self.queue.is_full or not self.egress_has_room(core_id):
+                break
+            address = self._dummy_rng.randint(0, (1 << 30) // 64 - 1) * 64
+            dummy = MemoryTransaction(
+                core_id=core_id,
+                address=address,
+                kind=TransactionType.FAKE_READ,
+                created_cycle=cycle,
+            )
+            self.enqueue(dummy, cycle)
+            self.dummy_transactions += 1
+
+    # -- internals ----------------------------------------------------------------
+
+    def _complete_bursts(self, cycle: int) -> None:
+        if not self._in_flight:
+            return
+        still_flying: List[MemoryTransaction] = []
+        for txn in self._in_flight:
+            if txn.data_ready_cycle is not None and txn.data_ready_cycle <= cycle:
+                self._egress.setdefault(txn.core_id, []).append(txn)
+                self._in_flight_count[txn.core_id] -= 1
+            else:
+                still_flying.append(txn)
+        self._in_flight = still_flying
+
+    def _service_refresh(self, cycle: int) -> None:
+        for channel, rank in self.dram.refresh_due(cycle):
+            self._refresh_pending.add((channel, rank))
+        for channel, rank in sorted(self._refresh_pending):
+            open_banks = self.dram.refresh_precharge_targets(channel, rank)
+            if open_banks:
+                for bank in open_banks:
+                    target = self.dram.channels[channel].ranks[rank].banks[bank]
+                    if target.can_precharge(cycle) and self.dram.channels[
+                        channel
+                    ].command_bus_free(cycle):
+                        self.dram.channels[channel].precharge(rank, bank, cycle)
+                        break
+                continue
+            ref = DramCommand(
+                CommandType.REFRESH,
+                DecodedAddress(channel=channel, rank=rank, bank=0, row=0, column=0),
+            )
+            if self.dram.can_issue(ref, cycle):
+                self.dram.issue(ref, cycle)
+                self.refreshes += 1
+                self._refresh_pending.discard((channel, rank))
+
+    def _selectable(self) -> Sequence[MemoryTransaction]:
+        # Cores whose return queue is full are fenced off (flow
+        # control); ranks awaiting refresh likewise.
+        queued_cores = {t.core_id for t in self.queue}
+        blocked_cores = {
+            core for core in queued_cores if not self.egress_has_room(core)
+        }
+        if not self._refresh_pending and not blocked_cores:
+            return self.queue
+        return [
+            t
+            for t in self.queue
+            if t.core_id not in blocked_cores
+            and (t.decoded.channel, t.decoded.rank) not in self._refresh_pending
+        ]
+
+    def _select_write_drain(self, cycle: int) -> Optional[MemoryTransaction]:
+        """A write to drain this cycle, when the write path says so."""
+        if self.write_queue is None:
+            return None
+        if not self.write_queue.should_drain(reads_pending=not self.queue.is_empty):
+            return None
+        candidates = [
+            t
+            for t in self.write_queue.peek_candidates()
+            if self.egress_has_room(t.core_id)
+            and (t.decoded.channel, t.decoded.rank) not in self._refresh_pending
+        ]
+        return Scheduler._frfcfs_pick(candidates, self.dram, cycle)
+
+    def _schedule_and_issue(self, cycle: int) -> None:
+        txn = self._select_write_drain(cycle)
+        if txn is None:
+            txn = self.scheduler.select(self._selectable(), self.dram, cycle)
+        if txn is None:
+            return
+        command = self.dram.required_command(txn.decoded, txn.is_write)
+        if not self.dram.can_issue(command, cycle):
+            # The scheduler promised an issuable command; treat anything
+            # else as a policy bug rather than silently skipping.
+            raise ProtocolError(
+                f"scheduler {self.scheduler.name} selected transaction "
+                f"{txn.txn_id} whose command {command} cannot issue at "
+                f"cycle {cycle}"
+            )
+        if command.is_column:
+            # A transaction is a row hit only if it never needed its own
+            # PRECHARGE/ACTIVATE — the row was already open when first
+            # scheduled (FR-FCFS's preferred case).
+            if txn.was_row_hit is None:
+                txn.was_row_hit = True
+            if txn.was_row_hit:
+                self.row_hits += 1
+            else:
+                self.row_misses += 1
+            burst_end = self.dram.issue(
+                command, cycle,
+                auto_precharge=self._page_policy == "closed",
+            )
+            txn.issue_cycle = cycle
+            txn.data_ready_cycle = burst_end
+            if self.write_queue is not None and txn.is_write:
+                self.write_queue.remove(txn)
+            else:
+                self.queue.remove(txn)
+            self._in_flight.append(txn)
+            self._in_flight_count[txn.core_id] = (
+                self._in_flight_count.get(txn.core_id, 0) + 1
+            )
+            if txn.is_write:
+                self.issued_writes += 1
+            else:
+                self.issued_reads += 1
+            self.scheduler.on_issue(txn, cycle)
+        else:
+            txn.was_row_hit = False
+            self.dram.issue(command, cycle)

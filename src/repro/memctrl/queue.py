@@ -1,0 +1,73 @@
+"""Bounded transaction queue with arrival-order iteration.
+
+Models the controller's transaction queue (32 entries in the paper's
+Table II).  Entries stay in arrival order — schedulers that need
+"oldest first" tie-breaking simply iterate.  The queue exposes
+``is_full`` for upstream backpressure: when it is full the NoC holds
+requests, which in turn stalls the shapers and ultimately the cores,
+propagating contention exactly the way the timing channel needs it to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.memctrl.transaction import MemoryTransaction
+
+
+class TransactionQueue:
+    """FIFO-ordered bounded buffer of in-flight transactions."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"queue capacity must be positive: {capacity}")
+        self._capacity = capacity
+        self._entries: List[MemoryTransaction] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MemoryTransaction]:
+        """Iterate in arrival order (oldest first)."""
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, txn: MemoryTransaction) -> None:
+        """Append a transaction; caller must respect ``is_full``."""
+        if self.is_full:
+            raise ProtocolError("push into a full transaction queue")
+        self._entries.append(txn)
+
+    def remove(self, txn: MemoryTransaction) -> None:
+        """Remove a (scheduled) transaction from the queue."""
+        try:
+            self._entries.remove(txn)
+        except ValueError:
+            raise ProtocolError(
+                f"transaction {txn.txn_id} not present in the queue"
+            ) from None
+
+    def count_for_core(self, core_id: int) -> int:
+        """Number of queued transactions belonging to ``core_id``."""
+        return sum(1 for t in self._entries if t.core_id == core_id)
+
+    def oldest(
+        self, predicate: Optional[Callable[[MemoryTransaction], bool]] = None
+    ) -> Optional[MemoryTransaction]:
+        """Oldest entry, optionally restricted by a predicate."""
+        for txn in self._entries:
+            if predicate is None or predicate(txn):
+                return txn
+        return None

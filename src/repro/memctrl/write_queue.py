@@ -1,0 +1,102 @@
+"""Optional write-queue with watermark-based draining.
+
+Real memory controllers do not schedule writes like reads: write-backs
+are latency-insensitive, so they park in a dedicated write queue and
+drain in bursts — either when the queue crosses a high watermark or
+when the read stream goes idle — amortizing the expensive write↔read
+bus turnaround (tWTR/tRTRS).
+
+This is an *optional* fidelity extension (off by default so the
+calibrated paper experiments are unaffected): enable it with
+``MemoryController(..., write_queue=WriteQueuePolicy())``.  Security
+note: write draining is another co-runner-dependent timing source —
+a reason the paper shapes *both* directions (BDC) rather than trusting
+any single queue's policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.memctrl.transaction import MemoryTransaction
+
+
+@dataclass(frozen=True)
+class WriteQueuePolicy:
+    """Watermark configuration for write draining.
+
+    Draining starts when occupancy ≥ ``high_watermark`` (or the read
+    queue is empty) and continues until occupancy ≤ ``low_watermark``
+    — classic hysteresis so the bus is not flipped per write.
+    """
+
+    capacity: int = 16
+    high_watermark: int = 12
+    low_watermark: int = 4
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0 <= self.low_watermark < self.high_watermark <= self.capacity:
+            raise ConfigurationError(
+                "watermarks must satisfy 0 <= low < high <= capacity"
+            )
+
+
+class WriteQueue:
+    """Bounded write buffer with hysteretic drain state."""
+
+    def __init__(self, policy: Optional[WriteQueuePolicy] = None) -> None:
+        self.policy = policy or WriteQueuePolicy()
+        self._entries: List[MemoryTransaction] = []
+        self._draining = False
+        self.accepted = 0
+        self.drained = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.policy.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, txn: MemoryTransaction) -> None:
+        if not txn.is_write:
+            raise ProtocolError("write queue accepts only write transactions")
+        if self.is_full:
+            raise ProtocolError("push into a full write queue")
+        self._entries.append(txn)
+        self.accepted += 1
+
+    def should_drain(self, reads_pending: bool) -> bool:
+        """Hysteresis: enter drain above high mark or on idle reads;
+        leave drain at/below the low mark."""
+        occupancy = len(self._entries)
+        if self._draining:
+            if occupancy <= self.policy.low_watermark:
+                self._draining = False
+        else:
+            if occupancy >= self.policy.high_watermark or (
+                not reads_pending and occupancy > 0
+            ):
+                self._draining = True
+        return self._draining and occupancy > 0
+
+    def peek_candidates(self) -> List[MemoryTransaction]:
+        """Arrival-ordered view for the scheduler's FR-FCFS pick."""
+        return list(self._entries)
+
+    def remove(self, txn: MemoryTransaction) -> None:
+        try:
+            self._entries.remove(txn)
+        except ValueError:
+            raise ProtocolError(
+                f"write {txn.txn_id} not present in the write queue"
+            ) from None
+        self.drained += 1

@@ -1,0 +1,291 @@
+"""2D-mesh on-chip network (optional substrate for SC1/SC5).
+
+The paper's shared channel between cores and the memory controller is
+"NoC, etc."; the default model is a single arbitrated link
+(:class:`~repro.noc.link.SharedLink`).  This module provides the
+richer alternative: a 2D mesh of input-buffered routers with
+dimension-ordered (X-then-Y) routing, one-flit transactions,
+round-robin output arbitration and credit-style backpressure.
+
+Why it matters for the paper's story: in a mesh, *where* a core sits
+determines how much of the victim's traffic crosses its path, so
+contention — and therefore leakage — is position-dependent.  ReqC
+still closes the channel because it shapes traffic before injection,
+wherever the core sits.
+
+:class:`MeshNetwork` implements the same producer/consumer interface
+as :class:`SharedLink` (``can_inject`` / ``inject`` / ``tick`` /
+``pop_arrivals`` / ``grant_trace``), so
+:meth:`repro.sim.SystemBuilder.with_noc` can swap topologies without
+touching the rest of the system.  One instance carries one direction:
+``to_hub`` (cores → memory controller) or ``from_hub`` (controller →
+cores); ``port`` always names the core endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.memctrl.transaction import MemoryTransaction
+
+#: Router port names: four neighbours plus the local inject/eject port.
+_DIRECTIONS = ("N", "S", "E", "W", "L")
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Mesh geometry and buffering."""
+
+    buffer_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.buffer_depth <= 0:
+            raise ConfigurationError("buffer_depth must be positive")
+
+
+class _Router:
+    """One input-buffered router with round-robin output arbitration."""
+
+    def __init__(self, node: int, buffer_depth: int) -> None:
+        self.node = node
+        self.inputs: Dict[str, Deque] = {
+            d: deque() for d in _DIRECTIONS
+        }
+        self._depth = buffer_depth
+        self._rr: Dict[str, int] = {d: 0 for d in _DIRECTIONS}
+
+    def has_room(self, direction: str) -> bool:
+        return len(self.inputs[direction]) < self._depth
+
+    def push(self, direction: str, flit) -> None:
+        if not self.has_room(direction):
+            raise ProtocolError(
+                f"router {self.node} input {direction} overflow"
+            )
+        self.inputs[direction].append(flit)
+
+    def arbitrate(self, route_fn) -> List[Tuple[str, str]]:
+        """Pick at most one (input, output) grant per output port.
+
+        ``route_fn(flit)`` returns the output direction a flit wants.
+        Only input heads compete (virtual cut-through with one-flit
+        packets).  Returns the granted pairs; the caller moves flits.
+        """
+        wants: Dict[str, List[str]] = {}
+        for direction in _DIRECTIONS:
+            queue = self.inputs[direction]
+            if queue:
+                out = route_fn(queue[0])
+                wants.setdefault(out, []).append(direction)
+        grants: List[Tuple[str, str]] = []
+        for out, requesters in wants.items():
+            start = self._rr[out] % len(_DIRECTIONS)
+            ordered = sorted(
+                requesters,
+                key=lambda d: (_DIRECTIONS.index(d) - start) % len(_DIRECTIONS),
+            )
+            chosen = ordered[0]
+            grants.append((chosen, out))
+            self._rr[out] = _DIRECTIONS.index(chosen) + 1
+        return grants
+
+
+class MeshNetwork:
+    """A 2D mesh carrying one traffic direction (to or from the hub).
+
+    Parameters
+    ----------
+    num_ports:
+        Core endpoints.  The grid is the smallest square holding all
+        cores plus the hub (memory controller), which occupies the
+        last node.
+    direction:
+        ``"to_hub"``: ``inject(port=i)`` enters at core *i*'s node,
+        destined for the hub.  ``"from_hub"``: enters at the hub,
+        destined for core *i*'s node.
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        direction: str = "to_hub",
+        config: Optional[MeshConfig] = None,
+        latency: int = 1,  # accepted for SharedLink API parity (per hop)
+        port_capacity: int = 16,
+    ) -> None:
+        if num_ports <= 0:
+            raise ConfigurationError("num_ports must be positive")
+        if direction not in ("to_hub", "from_hub"):
+            raise ConfigurationError(f"unknown direction {direction!r}")
+        self.config = config or MeshConfig()
+        self.direction = direction
+        self.num_ports = num_ports
+        self._port_capacity = port_capacity
+
+        self.width = max(2, math.ceil(math.sqrt(num_ports + 1)))
+        self.height = max(2, math.ceil((num_ports + 1) / self.width))
+        self.num_nodes = self.width * self.height
+        self.hub_node = self.num_nodes - 1
+        # Core i sits at node i (row-major); the hub takes the last node.
+        if num_ports > self.hub_node:
+            raise ConfigurationError("grid sizing failed to fit all cores")
+
+        self.routers = [
+            _Router(node, self.config.buffer_depth)
+            for node in range(self.num_nodes)
+        ]
+        # Source queues feeding each injection point.
+        self._source_queues: List[Deque] = [
+            deque() for _ in range(num_ports)
+        ]
+        self._arrivals: Deque[MemoryTransaction] = deque()
+        self.grant_trace: List[Tuple[int, int, MemoryTransaction]] = []
+        self.total_grants = 0
+        self.total_hops = 0
+        self._in_flight = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def _xy(self, node: int) -> Tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def _node_of_port(self, port: int) -> int:
+        return port
+
+    def _route(self, at_node: int, dest_node: int) -> str:
+        """Dimension-ordered (X then Y) next hop, 'L' when arrived."""
+        x, y = self._xy(at_node)
+        dx, dy = self._xy(dest_node)
+        if x < dx:
+            return "E"
+        if x > dx:
+            return "W"
+        if y < dy:
+            return "S"
+        if y > dy:
+            return "N"
+        return "L"
+
+    def _neighbor(self, node: int, direction: str) -> int:
+        x, y = self._xy(node)
+        if direction == "E":
+            x += 1
+        elif direction == "W":
+            x -= 1
+        elif direction == "S":
+            y += 1
+        elif direction == "N":
+            y -= 1
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ProtocolError(f"route off the mesh at node {node}")
+        return y * self.width + x
+
+    @staticmethod
+    def _opposite(direction: str) -> str:
+        return {"N": "S", "S": "N", "E": "W", "W": "E"}[direction]
+
+    # -- producer interface (SharedLink parity) ---------------------------------
+
+    def can_inject(self, port: int) -> bool:
+        return len(self._source_queues[port]) < self._port_capacity
+
+    def inject(self, port: int, txn: MemoryTransaction) -> None:
+        if not self.can_inject(port):
+            raise ProtocolError(f"inject into full mesh port {port}")
+        self._source_queues[port].append(txn)
+
+    def occupancy(self, port: int) -> int:
+        return len(self._source_queues[port])
+
+    # -- per-cycle operation -------------------------------------------------------
+
+    def tick(self, cycle: int, dest_ready: bool = True) -> None:
+        """Advance every router by one cycle.
+
+        ``dest_ready`` gates ejection at the hub (to_hub direction):
+        when the consumer (the memory controller) has no room, hub
+        ejections stall and backpressure builds hop by hop.
+        """
+        # 1. Source injection into local input buffers.
+        for port, queue in enumerate(self._source_queues):
+            if not queue:
+                continue
+            node = (
+                self._node_of_port(port)
+                if self.direction == "to_hub"
+                else self.hub_node
+            )
+            router = self.routers[node]
+            if router.has_room("L"):
+                txn = queue.popleft()
+                dest = (
+                    self.hub_node
+                    if self.direction == "to_hub"
+                    else self._node_of_port(txn.core_id)
+                )
+                router.push("L", (txn, dest))
+
+        # 2. Arbitration: collect all moves first, then apply, so a
+        #    flit moves at most one hop per cycle.
+        moves = []  # (router, in_dir, out_dir, flit)
+        for router in self.routers:
+            def route_fn(flit, _node=router.node):
+                return self._route(_node, flit[1])
+
+            for in_dir, out_dir in router.arbitrate(route_fn):
+                flit = router.inputs[in_dir][0]
+                if out_dir == "L":
+                    ejecting_at_hub = router.node == self.hub_node
+                    if (
+                        self.direction == "to_hub"
+                        and ejecting_at_hub
+                        and not dest_ready
+                    ):
+                        continue  # consumer full: hold the flit
+                    moves.append((router, in_dir, None, flit))
+                else:
+                    neighbor = self.routers[
+                        self._neighbor(router.node, out_dir)
+                    ]
+                    if neighbor.has_room(self._opposite(out_dir)):
+                        moves.append((router, in_dir, out_dir, flit))
+
+        for router, in_dir, out_dir, flit in moves:
+            router.inputs[in_dir].popleft()
+            txn, dest = flit
+            if out_dir is None:
+                self._arrivals.append(txn)
+                self.grant_trace.append((cycle, txn.core_id, txn))
+                self.total_grants += 1
+            else:
+                neighbor = self.routers[self._neighbor(router.node, out_dir)]
+                neighbor.push(self._opposite(out_dir), flit)
+                self.total_hops += 1
+
+    def pop_arrivals(self, cycle: int) -> List[MemoryTransaction]:
+        out = list(self._arrivals)
+        self._arrivals.clear()
+        return out
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def in_flight_count(self) -> int:
+        buffered = sum(
+            len(q) for r in self.routers for q in r.inputs.values()
+        )
+        return buffered + sum(len(q) for q in self._source_queues)
+
+    def drain_trace(self):
+        trace, self.grant_trace = self.grant_trace, []
+        return trace
+
+    def hop_distance(self, port: int) -> int:
+        """Manhattan distance from a core's node to the hub."""
+        x, y = self._xy(self._node_of_port(port))
+        hx, hy = self._xy(self.hub_node)
+        return abs(x - hx) + abs(y - hy)

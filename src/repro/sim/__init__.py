@@ -1,0 +1,44 @@
+"""Full-system cycle-driven simulator.
+
+Wires cores, caches, shapers, the shared NoC links, the memory
+controller and the DRAM model into one clocked system, mirroring the
+paper's Figure 5 pipeline:
+
+``core → LLC → [ReqC] → request link (SC1) → MC (SC2) → DRAM (SC3)
+→ [RespC] (SC4) → response link (SC5) → core``
+
+Build systems with :class:`SystemBuilder` (fluent configuration of
+schedulers, per-core shaping and bank partitioning) and run them with
+:meth:`System.run`; results come back as a :class:`SystemReport`.
+"""
+
+from repro.sim.bandwidth import (
+    bandwidth_series,
+    burstiness_index,
+    fake_traffic_fraction,
+    per_core_bandwidth,
+    utilization,
+)
+from repro.sim.stats import CoreStats, SystemReport
+from repro.sim.system import (
+    EpochShapingPlan,
+    RequestShapingPlan,
+    ResponseShapingPlan,
+    System,
+    SystemBuilder,
+)
+
+__all__ = [
+    "CoreStats",
+    "EpochShapingPlan",
+    "bandwidth_series",
+    "burstiness_index",
+    "fake_traffic_fraction",
+    "per_core_bandwidth",
+    "utilization",
+    "RequestShapingPlan",
+    "ResponseShapingPlan",
+    "System",
+    "SystemBuilder",
+    "SystemReport",
+]

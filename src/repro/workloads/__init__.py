@@ -1,0 +1,42 @@
+"""Workload and trace generation.
+
+The paper drives SDSim with SPECInt-2006 and Apache traces captured
+via GEM5; those toolchains are unavailable offline, so this package
+provides *parameterized synthetic equivalents* (documented substitution
+— DESIGN.md section 2): each named benchmark maps to a
+:class:`BenchmarkProfile` whose memory intensity, burstiness, spatial
+locality and working-set size are chosen to preserve the qualitative
+ordering the paper's evaluation depends on (mcf ≫ astar in intensity,
+libquantum streaming, sjeng compute-bound, …).
+
+Also here: the covert-channel sender of the paper's Algorithm 1, which
+encodes a key in memory-traffic bursts.
+"""
+
+from repro.workloads.covert import CovertChannelConfig, covert_sender_trace
+from repro.workloads.phased import (
+    Phase,
+    PhasedTraceGenerator,
+    two_phase_trace,
+)
+from repro.workloads.spec import (
+    BENCHMARK_NAMES,
+    BenchmarkProfile,
+    benchmark_profile,
+    make_trace,
+)
+from repro.workloads.synthetic import SyntheticTraceGenerator, TraceParameters
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkProfile",
+    "CovertChannelConfig",
+    "Phase",
+    "PhasedTraceGenerator",
+    "SyntheticTraceGenerator",
+    "TraceParameters",
+    "benchmark_profile",
+    "covert_sender_trace",
+    "make_trace",
+    "two_phase_trace",
+]

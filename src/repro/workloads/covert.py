@@ -1,0 +1,132 @@
+"""Covert-channel sender — the paper's Algorithm 1.
+
+The malicious program walks a secret key bit by bit.  For each **1**
+bit it generates memory traffic for a fixed PULSE duration by writing
+successive cache lines of a large buffer (guaranteed misses — the
+buffer exceeds the LLC and the walk never revisits a line within one
+pass); for each **0** bit it busy-waits for the same duration.  A
+receiver observing the memory bus (or its own response latencies)
+recovers the key from the bandwidth envelope.
+
+This module produces the *trace* equivalent: ``1`` bits become runs of
+closely spaced writes to consecutive lines, ``0`` bits become long
+non-memory stretches (modelled as pure compute instructions touching a
+single L1-resident line, so zero memory traffic is generated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CovertChannelConfig:
+    """Timing parameters of the sender.
+
+    ``pulse_cycles`` is the per-bit signalling duration (PULSE in
+    Algorithm 1); ``access_gap_insts`` spaces the writes inside a
+    1-pulse; ``width`` is the core's retire width, needed to convert
+    idle cycles into non-memory instruction counts.
+
+    The real sender paces itself by reading the clock ("while
+    ElapsedTime < PULSE"), so its pulses always stay wall-clock
+    aligned.  A fixed trace cannot re-check the clock, so the default
+    ``access_gap_insts`` is chosen high enough that the miss stream
+    stays below the memory system's sustainable rate — otherwise
+    queueing stretches the 1-pulses and the bit boundaries drift.
+    """
+
+    pulse_cycles: int = 12000
+    access_gap_insts: int = 64
+    width: int = 4
+    line_bytes: int = 64
+    buffer_bytes: int = 16 * MB
+    base_address: int = 1 << 32  # far from any co-runner's working set
+
+    def __post_init__(self) -> None:
+        if self.pulse_cycles <= 0:
+            raise ConfigurationError("pulse_cycles must be positive")
+        if self.access_gap_insts < 0:
+            raise ConfigurationError("access_gap_insts must be non-negative")
+        if self.width <= 0:
+            raise ConfigurationError("width must be positive")
+        if self.buffer_bytes < self.line_bytes:
+            raise ConfigurationError("buffer smaller than one line")
+
+    @property
+    def accesses_per_pulse(self) -> int:
+        """Writes emitted during one '1' pulse.
+
+        Each access record carries ``access_gap_insts`` non-memory
+        instructions retiring at ``width``/cycle, so one record spans
+        roughly ``access_gap_insts / width`` cycles of compute.
+        """
+        cycles_per_access = max(1, self.access_gap_insts // self.width)
+        return max(1, self.pulse_cycles // cycles_per_access)
+
+    @property
+    def idle_insts_per_pulse(self) -> int:
+        """Non-memory instructions spanning one '0' pulse."""
+        return self.pulse_cycles * self.width
+
+
+def key_to_bits(key: int, bit_length: int) -> List[int]:
+    """MSB-first bit vector of ``key`` (e.g. 0x2AAAAAAA, 32 bits)."""
+    if bit_length <= 0:
+        raise ConfigurationError("bit_length must be positive")
+    if key < 0 or key >= (1 << bit_length):
+        raise ConfigurationError(
+            f"key {key:#x} does not fit in {bit_length} bits"
+        )
+    return [(key >> (bit_length - 1 - i)) & 1 for i in range(bit_length)]
+
+
+def covert_sender_trace(
+    key_bits: Sequence[int],
+    config: CovertChannelConfig = CovertChannelConfig(),
+) -> MemoryTrace:
+    """Build the Algorithm-1 sender trace for a bit vector.
+
+    The line pointer advances monotonically through the buffer across
+    pulses (``NextCacheLine`` in the pseudocode), wrapping at the end,
+    so every access inside a pulse is a fresh-line miss.
+    """
+    if not key_bits:
+        raise ConfigurationError("key_bits must not be empty")
+    if any(b not in (0, 1) for b in key_bits):
+        raise ConfigurationError("key_bits must contain only 0/1")
+
+    records: List[TraceRecord] = []
+    next_line = 0
+    total_lines = config.buffer_bytes // config.line_bytes
+    # A single hot line used by the idle spin loop: it stays L1
+    # resident after the first touch and generates no memory traffic.
+    spin_address = config.base_address + config.buffer_bytes
+
+    for bit in key_bits:
+        if bit:
+            for _ in range(config.accesses_per_pulse):
+                address = config.base_address + next_line * config.line_bytes
+                next_line = (next_line + 1) % total_lines
+                records.append(
+                    TraceRecord(
+                        nonmem_insts=config.access_gap_insts,
+                        address=address,
+                        is_write=True,
+                    )
+                )
+        else:
+            records.append(
+                TraceRecord(
+                    nonmem_insts=config.idle_insts_per_pulse,
+                    address=spin_address,
+                    is_write=False,
+                )
+            )
+    return MemoryTrace(records, name="covert-sender")

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.bins import BinConfiguration, BinSpec
+from repro.dram.organization import DramOrganization
+from repro.dram.system import DramSystem
+from repro.dram.timing import DramTiming
+
+
+@pytest.fixture
+def timing():
+    """Default DDR3-1333 timing."""
+    return DramTiming()
+
+
+@pytest.fixture
+def organization():
+    """Paper Table II organization: 1 channel, 1 rank, 8 banks."""
+    return DramOrganization()
+
+
+@pytest.fixture
+def dram(timing, organization):
+    """A DRAM system with refresh disabled (deterministic tests)."""
+    return DramSystem(timing=timing, organization=organization,
+                      enable_refresh=False)
+
+
+@pytest.fixture
+def spec():
+    """Default 10-bin exponential bin spec."""
+    return BinSpec()
+
+
+@pytest.fixture
+def small_spec():
+    """A short-period spec for fast shaper tests."""
+    return BinSpec(edges=(1, 2, 4, 8), replenish_period=32)
+
+
+@pytest.fixture
+def uniform_small_config():
+    """Two credits per bin over the small spec."""
+    return BinConfiguration((2, 2, 2, 2))

@@ -1,0 +1,57 @@
+"""Unit tests for result formatting helpers."""
+
+from repro.analysis.format import ascii_series, format_distribution, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        out = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in out
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_alignment(self):
+        out = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) >= len("a-much-longer-cell")
+
+    def test_precision(self):
+        out = format_table(["v"], [[3.14159]], precision=1)
+        assert "3.1" in out and "3.14" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert ascii_series([]) == "(empty)"
+
+    def test_constant_series(self):
+        out = ascii_series([5, 5, 5])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_ramp_is_monotone(self):
+        out = ascii_series(list(range(9)))
+        assert list(out) == sorted(out)
+
+    def test_downsamples_to_width(self):
+        out = ascii_series(list(range(1000)), width=40)
+        assert len(out) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(ascii_series([1, 2], width=64)) == 2
+
+
+class TestFormatDistribution:
+    def test_includes_counts_and_label(self):
+        out = format_distribution([3, 1, 0], label="astar")
+        assert "astar" in out
+        assert "3" in out and "1" in out
+
+    def test_handles_all_zero(self):
+        out = format_distribution([0, 0, 0])
+        assert "[" in out

@@ -1,0 +1,117 @@
+"""Tests for bandwidth accounting utilities."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.sim.bandwidth import (
+    bandwidth_series,
+    burstiness_index,
+    fake_traffic_fraction,
+    per_core_bandwidth,
+    utilization,
+)
+
+
+def grant(cycle, port, fake=False):
+    txn = MemoryTransaction(
+        core_id=port, address=0,
+        kind=TransactionType.FAKE_READ if fake else TransactionType.READ,
+        created_cycle=cycle,
+    )
+    return (cycle, port, txn)
+
+
+TRACE = [grant(0, 0), grant(5, 1), grant(15, 0), grant(25, 0, fake=True)]
+
+
+class TestBandwidthSeries:
+    def test_windows(self):
+        series = bandwidth_series(TRACE, window_cycles=10, total_cycles=30)
+        assert list(series) == [128, 64, 64]
+
+    def test_port_filter(self):
+        series = bandwidth_series(TRACE, 10, 30, port=0)
+        assert list(series) == [64, 64, 64]
+
+    def test_line_bytes(self):
+        series = bandwidth_series(TRACE, 10, 30, line_bytes=32)
+        assert list(series) == [64, 32, 32]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_series(TRACE, 0, 30)
+        with pytest.raises(ConfigurationError):
+            bandwidth_series(TRACE, 10, 0)
+
+
+class TestPerCore:
+    def test_average(self):
+        bw = per_core_bandwidth(TRACE, total_cycles=64)
+        assert bw[0] == pytest.approx(3 * 64 / 64)
+        assert bw[1] == pytest.approx(64 / 64)
+
+    def test_empty_trace(self):
+        assert per_core_bandwidth([], 100) == {}
+
+
+class TestFakeFraction:
+    def test_overall(self):
+        assert fake_traffic_fraction(TRACE) == pytest.approx(0.25)
+
+    def test_per_port(self):
+        assert fake_traffic_fraction(TRACE, port=0) == pytest.approx(1 / 3)
+        assert fake_traffic_fraction(TRACE, port=1) == 0.0
+
+    def test_empty(self):
+        assert fake_traffic_fraction([]) == 0.0
+
+
+class TestUtilization:
+    def test_value(self):
+        assert utilization(TRACE, total_cycles=8) == pytest.approx(0.5)
+
+    def test_clamped_to_one(self):
+        assert utilization(TRACE, total_cycles=2) == 1.0
+
+
+class TestBurstiness:
+    def test_constant_series_zero(self):
+        assert burstiness_index([5, 5, 5, 5]) == 0.0
+
+    def test_bursty_series_large(self):
+        assert burstiness_index([0, 0, 0, 100]) > 1.0
+
+    def test_empty_and_zero(self):
+        assert burstiness_index([]) == 0.0
+        assert burstiness_index([0, 0]) == 0.0
+
+    def test_shaping_reduces_burstiness_end_to_end(self):
+        """The whole point, measured with this index: shaped bus
+        traffic has a much flatter envelope than intrinsic traffic."""
+        from repro.analysis.experiments import staircase_config
+        from repro.core.bins import BinSpec
+        from repro.sim.system import RequestShapingPlan, SystemBuilder
+        from repro.workloads.spec import make_trace
+
+        spec = BinSpec(replenish_period=512)
+
+        def run(shaped):
+            builder = SystemBuilder(seed=8)
+            plan = (
+                RequestShapingPlan(
+                    config=staircase_config(spec, 1 / 20), spec=spec
+                )
+                if shaped
+                else None
+            )
+            builder.add_core(make_trace("apache", 2500, seed=8),
+                             request_shaping=plan)
+            system = builder.build()
+            system.run(40_000, stop_when_done=False)
+            series = bandwidth_series(
+                system.request_link.grant_trace, 1024, system.current_cycle
+            )
+            return burstiness_index(series)
+
+        assert run(shaped=True) < 0.5 * run(shaped=False)

@@ -1,0 +1,78 @@
+"""Unit tests for Bi-directional Camouflage (BDC)."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.core.bidirectional import BidirectionalCamouflage
+from repro.core.bins import BinConfiguration, BinSpec
+from repro.core.request_shaper import RequestCamouflage
+from repro.core.response_shaper import ResponseCamouflage
+from repro.core.shaper import BinShaper
+from repro.noc.link import SharedLink
+
+
+def make_bdc(core_id=0, other_core=None):
+    spec = BinSpec(edges=(1, 2, 4, 8), replenish_period=32)
+    config = BinConfiguration((2, 2, 2, 2))
+    req_link = SharedLink(num_ports=1, latency=1)
+    resp_link = SharedLink(num_ports=1, latency=1)
+    req = RequestCamouflage(
+        core_id=core_id,
+        shaper=BinShaper(spec, config),
+        link=req_link,
+        port=0,
+        rng=DeterministicRng(1),
+    )
+    resp = ResponseCamouflage(
+        core_id=other_core if other_core is not None else core_id,
+        shaper=BinShaper(spec, config),
+        link=resp_link,
+        port=0,
+    )
+    return req, resp
+
+
+class TestConstruction:
+    def test_pairs_same_core(self):
+        req, resp = make_bdc()
+        bdc = BidirectionalCamouflage(req, resp)
+        assert bdc.core_id == 0
+
+    def test_rejects_mismatched_cores(self):
+        req, resp = make_bdc(core_id=0, other_core=1)
+        with pytest.raises(ValueError):
+            BidirectionalCamouflage(req, resp)
+
+
+class TestReconfiguration:
+    def test_reconfigure_both_directions(self):
+        req, resp = make_bdc()
+        bdc = BidirectionalCamouflage(req, resp)
+        new_req = BinConfiguration((5, 0, 0, 0))
+        new_resp = BinConfiguration((0, 0, 0, 3))
+        bdc.reconfigure(new_req, new_resp)
+        # Double buffered: visible only after each shaper's boundary.
+        req.shaper.replenish_if_due(32)
+        resp.shaper.replenish_if_due(32)
+        assert bdc.configs() == (new_req, new_resp)
+
+
+class TestTelemetry:
+    def test_fake_fraction_zero_initially(self):
+        req, resp = make_bdc()
+        bdc = BidirectionalCamouflage(req, resp)
+        assert bdc.fake_traffic_fraction() == 0.0
+
+    def test_fake_fraction_counts_both_directions(self):
+        req, resp = make_bdc()
+        bdc = BidirectionalCamouflage(req, resp)
+        # Let both shapers idle through a period, then emit fakes.
+        for cycle in range(1, 72):
+            req.tick(cycle)
+            resp.tick(cycle)
+            while req.link.ports[0].occupancy:
+                req.link.ports[0].pop()
+            while resp.link.ports[0].occupancy:
+                resp.link.ports[0].pop()
+        assert req.fake_sent > 0 and resp.fake_sent > 0
+        assert bdc.fake_traffic_fraction() == 1.0

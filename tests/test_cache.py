@@ -1,0 +1,156 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+
+
+def tiny_cache(ways=2, sets=4, line=64):
+    return SetAssociativeCache(
+        CacheConfig(size_bytes=ways * sets * line, ways=ways, line_bytes=line)
+    )
+
+
+class TestConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, ways=4, line_bytes=64)
+        assert cfg.num_sets == 128
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=3 * 64 * 2, ways=2, line_bytes=64)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1024, ways=2, line_bytes=48)
+
+
+class TestBasicOperation:
+    def test_cold_miss(self):
+        c = tiny_cache()
+        assert not c.access(0, is_write=False)
+        assert c.misses == 1
+
+    def test_hit_after_fill(self):
+        c = tiny_cache()
+        c.fill(0)
+        assert c.access(0, is_write=False)
+        assert c.hits == 1
+
+    def test_line_granularity(self):
+        c = tiny_cache()
+        c.fill(0)
+        assert c.access(63, is_write=False)   # same line
+        assert not c.access(64, is_write=False)  # next line
+
+    def test_line_address(self):
+        c = tiny_cache()
+        assert c.line_address(0) == 0
+        assert c.line_address(63) == 0
+        assert c.line_address(64) == 64
+        assert c.line_address(130) == 128
+
+    def test_invalidate(self):
+        c = tiny_cache()
+        c.fill(0)
+        assert c.invalidate(0)
+        assert not c.access(0, is_write=False)
+        assert not c.invalidate(0)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        c = tiny_cache(ways=2, sets=1)
+        c.fill(0)          # line A
+        c.fill(64)         # line B
+        c.access(0, False)  # touch A: B becomes LRU
+        victim = c.fill(128)
+        assert victim is not None
+        assert victim.address == 64
+
+    def test_fill_refreshes_lru(self):
+        c = tiny_cache(ways=2, sets=1)
+        c.fill(0)
+        c.fill(64)
+        c.fill(0)  # refresh A
+        victim = c.fill(128)
+        assert victim.address == 64
+
+    def test_write_hit_sets_dirty(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.fill(0, dirty=False)
+        c.access(0, is_write=True)
+        victim = c.fill(64)
+        assert victim.dirty
+
+    def test_clean_eviction_not_dirty(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.fill(0, dirty=False)
+        victim = c.fill(64)
+        assert not victim.dirty
+        assert c.writebacks == 0
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.fill(0, dirty=True)
+        victim = c.fill(64)
+        assert victim.dirty
+        assert c.writebacks == 1
+
+    def test_refill_merges_dirty_bit(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.fill(0, dirty=True)
+        c.fill(0, dirty=False)  # re-fill does not clean the line
+        victim = c.fill(64)
+        assert victim.dirty
+
+
+class TestSetIndexing:
+    def test_different_sets_do_not_conflict(self):
+        c = tiny_cache(ways=1, sets=4)
+        # These addresses map to different sets: no evictions.
+        for i in range(4):
+            assert c.fill(i * 64) is None
+        assert c.resident_lines() == 4
+
+    def test_same_set_aliases_conflict(self):
+        c = tiny_cache(ways=1, sets=4)
+        c.fill(0)
+        victim = c.fill(4 * 64)  # wraps to set 0
+        assert victim is not None and victim.address == 0
+
+
+class TestOccupancyInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                    max_size=200))
+    def test_never_exceeds_capacity(self, addresses):
+        c = tiny_cache(ways=2, sets=4)
+        for a in addresses:
+            if not c.access(a, is_write=False):
+                c.fill(a)
+        assert c.resident_lines() <= 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                    max_size=100))
+    def test_hit_after_fill_always(self, addresses):
+        """Any just-filled line must hit immediately (no lost fills)."""
+        c = tiny_cache(ways=2, sets=4)
+        for a in addresses:
+            c.fill(a)
+            assert c.lookup(a)
+
+    def test_miss_rate(self):
+        c = tiny_cache()
+        c.access(0, False)
+        c.fill(0)
+        c.access(0, False)
+        assert c.miss_rate == pytest.approx(0.5)

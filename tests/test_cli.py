@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig11", "--benchmark", "doom"])
+
+    def test_scale_parsed(self):
+        args = build_parser().parse_args(["--scale", "0.5", "list"])
+        assert args.scale == 0.5
+
+    def test_covert_key_hex(self):
+        args = build_parser().parse_args(["covert", "--key", "0xFF"])
+        assert int(args.key, 0) == 255
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "covert" in out
+
+    def test_fig11_quick(self, capsys):
+        assert main(["--scale", "0.2", "fig11", "--benchmark", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "TV distance" in out
+
+    def test_fig12_single_benchmark(self, capsys):
+        assert main(["--scale", "0.2", "fig12", "--benchmark", "apache"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "apache" in out
+
+    def test_covert_quick(self, capsys):
+        assert main([
+            "--scale", "0.2", "covert", "--key", "0xA5", "--bits", "8",
+            "--pulse", "1500", "--no-shaping",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit error rate" in out
+
+    def test_tradeoff_quick(self, capsys):
+        assert main(["--scale", "0.15", "tradeoff",
+                     "--benchmark", "apache"]) == 0
+        out = capsys.readouterr().out
+        assert "no-shaping" in out
+
+    def test_fig13_quick(self, capsys):
+        assert main(["--scale", "0.15", "fig13", "--adversary", "gcc",
+                     "--victim", "astar"]) == 0
+        out = capsys.readouterr().out
+        assert "camouflage" in out
+
+
+class TestCalibrate:
+    def test_single_benchmark(self, capsys):
+        from repro.cli import main
+
+        assert main(["--scale", "0.2", "calibrate",
+                     "--benchmark", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "row_hit_rate" in out

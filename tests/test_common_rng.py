@@ -1,0 +1,102 @@
+"""Unit tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(50)] == [
+            b.randint(0, 100) for _ in range(50)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(10)] != [
+            b.randint(0, 10**9) for _ in range(10)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork(3)
+        b = DeterministicRng(7).fork(3)
+        assert a.random() == b.random()
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent = DeterministicRng(7)
+        child_before = parent.fork(5)
+        parent.randint(0, 100)  # consume from parent
+        child_after = DeterministicRng(7).fork(5)
+        assert child_before.random() == child_after.random()
+
+    def test_forks_with_different_salts_diverge(self):
+        parent = DeterministicRng(7)
+        assert parent.fork(1).random() != parent.fork(2).random()
+
+    def test_seed_property(self):
+        assert DeterministicRng(99).seed == 99
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(0)
+        draws = [rng.randint(3, 9) for _ in range(200)]
+        assert all(3 <= d <= 9 for d in draws)
+        assert min(draws) == 3 and max(draws) == 9
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(0)
+        assert all(0.0 <= rng.random() < 1.0 for _ in range(100))
+
+    def test_choice_returns_member(self):
+        rng = DeterministicRng(0)
+        seq = ["a", "b", "c"]
+        assert all(rng.choice(seq) in seq for _ in range(30))
+
+    def test_shuffle_preserves_elements(self):
+        rng = DeterministicRng(0)
+        seq = list(range(30))
+        rng.shuffle(seq)
+        assert sorted(seq) == list(range(30))
+
+    def test_sample_distinct(self):
+        rng = DeterministicRng(0)
+        out = rng.sample(list(range(100)), 10)
+        assert len(set(out)) == 10
+
+    def test_numpy_generator_deterministic(self):
+        a = DeterministicRng(5).numpy_generator().integers(0, 1000, 10)
+        b = DeterministicRng(5).numpy_generator().integers(0, 1000, 10)
+        assert list(a) == list(b)
+
+
+class TestGeometric:
+    def test_support_starts_at_one(self):
+        rng = DeterministicRng(0)
+        assert all(rng.geometric(0.5) >= 1 for _ in range(500))
+
+    def test_p_one_always_one(self):
+        rng = DeterministicRng(0)
+        assert all(rng.geometric(1.0) == 1 for _ in range(20))
+
+    def test_mean_close_to_inverse_p(self):
+        rng = DeterministicRng(0)
+        draws = [rng.geometric(0.1) for _ in range(20000)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(10.0, rel=0.1)
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_rejects_bad_probability(self, p):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).geometric(p)
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_always_positive_integer(self, p):
+        rng = DeterministicRng(123)
+        value = rng.geometric(p)
+        assert isinstance(value, int) and value >= 1

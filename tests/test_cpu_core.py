@@ -1,0 +1,229 @@
+"""Unit tests for the trace-driven out-of-order core model."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import ProtocolError
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.trace import MemoryTrace, TraceRecord
+from repro.common.errors import ConfigurationError
+
+
+class SinkStub:
+    """Request sink that records submissions and can refuse."""
+
+    def __init__(self):
+        self.submitted = []
+        self.accepting = True
+
+    def can_accept(self, core_id):
+        return self.accepting
+
+    def submit(self, txn, cycle):
+        self.submitted.append((txn, cycle))
+
+
+def make_core(records, config=None):
+    sink = SinkStub()
+    core = Core(
+        core_id=0,
+        trace=MemoryTrace(records),
+        hierarchy=CacheHierarchy(),
+        request_sink=sink,
+        config=config or CoreConfig(),
+    )
+    return core, sink
+
+
+def run_with_memory(core, sink, max_cycles, latency=20):
+    """Tick the core, returning each miss as a fill after ``latency``."""
+    in_flight = []
+    delivered = 0
+    for cycle in range(max_cycles):
+        core.tick(cycle)
+        while sink.submitted:
+            txn, _ = sink.submitted.pop(0)
+            in_flight.append((cycle + latency, txn))
+        still = []
+        for ready, txn in in_flight:
+            if ready <= cycle and not txn.is_write:
+                core.receive_fill(txn, cycle)
+                delivered += 1
+            elif ready > cycle:
+                still.append((ready, txn))
+        in_flight = still
+        if core.done and not in_flight and not sink.submitted:
+            break
+    return delivered
+
+
+class TestConfigValidation:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(width=0)
+
+    def test_rejects_window_smaller_than_width(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(width=4, window_size=2)
+
+    def test_rejects_zero_mshrs(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(mshr_entries=0)
+
+
+class TestComputeThroughput:
+    def test_retires_at_width_when_unblocked(self):
+        """A pure-compute stretch retires at the full machine width."""
+        core, sink = make_core([TraceRecord(400, 0)])
+        run_with_memory(core, sink, 1000, latency=10)
+        assert core.done
+        # 401 instructions at width 4 plus the initial miss round trip.
+        assert core.finish_cycle < 400 / 4 + 40
+
+    def test_ipc_upper_bound(self):
+        core, sink = make_core([TraceRecord(1000, 0)])
+        run_with_memory(core, sink, 2000)
+        assert core.ipc() <= core.config.width
+
+
+class TestMissHandling:
+    def test_llc_miss_submits_transaction(self):
+        core, sink = make_core([TraceRecord(0, 0x10000)])
+        core.tick(0)
+        assert core.demand_requests == 1
+
+    def test_same_line_misses_merge(self):
+        """Two accesses to one line produce a single memory request."""
+        core, sink = make_core(
+            [TraceRecord(0, 0x10000), TraceRecord(0, 0x10020)]
+        )
+        run_with_memory(core, sink, 200)
+        assert core.done
+        assert core.demand_requests == 1
+        assert core.mshrs.merges == 1
+
+    def test_cache_hit_no_transaction(self):
+        core, sink = make_core(
+            [TraceRecord(0, 0x10000), TraceRecord(50, 0x10000)]
+        )
+        run_with_memory(core, sink, 400)
+        assert core.done
+        assert core.demand_requests == 1  # second access hits in L1
+
+    def test_load_blocks_retirement_until_fill(self):
+        core, sink = make_core([TraceRecord(0, 0x10000), TraceRecord(100, 0x10000)])
+        for cycle in range(50):
+            core.tick(cycle)  # no fills delivered
+        # The load at seq 0 blocks everything behind it.
+        assert core.retired_instructions == 0
+        assert core.memory_stall_cycles > 0
+
+    def test_store_does_not_block_retirement(self):
+        core, sink = make_core(
+            [TraceRecord(0, 0x10000, is_write=True), TraceRecord(40, 0x10000)]
+        )
+        for cycle in range(30):
+            core.tick(cycle)
+        # The store's line never returned, yet instructions retire.
+        assert core.retired_instructions > 0
+
+    def test_mshr_full_stalls_fetch(self):
+        config = CoreConfig(mshr_entries=2)
+        records = [TraceRecord(0, i * 0x10000) for i in range(6)]
+        core, sink = make_core(records, config)
+        for cycle in range(20):
+            core.tick(cycle)
+        assert core.outstanding_misses == 2
+        assert core.fetch_stall_cycles > 0
+
+    def test_sink_backpressure_stalls_fetch(self):
+        core, sink = make_core([TraceRecord(0, 0x10000)])
+        sink.accepting = False
+        for cycle in range(10):
+            core.tick(cycle)
+        assert core.demand_requests == 0
+        assert core.fetch_stall_cycles > 0
+        sink.accepting = True
+        core.tick(10)
+        assert core.demand_requests == 1
+
+
+class TestWindowLimit:
+    def test_window_bounds_runahead(self):
+        """Fetch cannot run more than window_size past retirement."""
+        config = CoreConfig(width=4, window_size=16)
+        core, sink = make_core(
+            [TraceRecord(0, 0x10000), TraceRecord(1000, 0x20000)], config
+        )
+        for cycle in range(100):
+            core.tick(cycle)  # first load never returns
+        assert core.window_occupancy <= 16
+        assert core.retired_instructions == 0
+
+
+class TestFills:
+    def test_fill_wakes_all_merged_loads(self):
+        core, sink = make_core(
+            [TraceRecord(0, 0x10000), TraceRecord(0, 0x10040 - 0x40)]
+        )
+        run_with_memory(core, sink, 300)
+        assert core.done
+
+    def test_fill_for_wrong_core_raises(self):
+        core, sink = make_core([TraceRecord(0, 0x10000)])
+        core.tick(0)
+        txn, _ = sink.submitted[0]
+        txn.core_id = 1
+        with pytest.raises(ProtocolError):
+            core.receive_fill(txn, 10)
+
+    def test_fake_fill_ignored(self):
+        from repro.memctrl.transaction import MemoryTransaction, TransactionType
+
+        core, sink = make_core([TraceRecord(0, 0x10000)])
+        core.tick(0)
+        fake = MemoryTransaction(
+            core_id=0, address=0x999940, kind=TransactionType.FAKE_READ,
+            created_cycle=0,
+        )
+        core.receive_fill(fake, 5)  # no exception, no state change
+        assert core.outstanding_misses == 1
+
+    def test_writeback_emitted_on_dirty_eviction(self):
+        """Dirty lines leaving the LLC become write transactions."""
+        from repro.cache.cache import CacheConfig
+        from repro.cache.hierarchy import HierarchyConfig
+
+        tiny = HierarchyConfig(
+            l1=CacheConfig(size_bytes=2 * 64 * 2, ways=2, line_bytes=64),
+            l2=CacheConfig(size_bytes=4 * 64 * 4, ways=4, line_bytes=64),
+        )
+        records = [
+            TraceRecord(2, i * 256, is_write=True) for i in range(8)
+        ]
+        sink = SinkStub()
+        core = Core(0, MemoryTrace(records), CacheHierarchy(tiny), sink)
+        run_with_memory(core, sink, 2000)
+        assert core.done
+        assert core.writeback_requests > 0
+
+
+class TestCompletion:
+    def test_done_and_finish_cycle(self):
+        core, sink = make_core([TraceRecord(10, 0x1000)])
+        run_with_memory(core, sink, 500)
+        assert core.done
+        assert core.finish_cycle is not None
+        assert core.retired_instructions == 11  # 10 non-mem + 1 access
+
+    def test_tick_after_done_is_noop(self):
+        core, sink = make_core([TraceRecord(0, 0x1000)])
+        run_with_memory(core, sink, 500)
+        cycles_before = core.cycles
+        core.tick(10_000)
+        assert core.cycles == cycles_before
+
+    def test_memory_stall_fraction_bounded(self):
+        core, sink = make_core([TraceRecord(5, i * 0x40000) for i in range(10)])
+        run_with_memory(core, sink, 5000, latency=50)
+        assert 0.0 <= core.memory_stall_fraction() <= 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for the trace format."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+
+class TestTraceRecord:
+    def test_instruction_count(self):
+        assert TraceRecord(nonmem_insts=9, address=0).instruction_count == 10
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecord(nonmem_insts=-1, address=0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecord(nonmem_insts=0, address=-64)
+
+
+class TestMemoryTrace:
+    def make(self):
+        return MemoryTrace(
+            [
+                TraceRecord(4, 0x100, is_write=False),
+                TraceRecord(0, 0x200, is_write=True),
+                TraceRecord(10, 0x300, is_write=False),
+            ],
+            name="t",
+        )
+
+    def test_length_and_indexing(self):
+        t = self.make()
+        assert len(t) == 3
+        assert t[1].address == 0x200
+
+    def test_total_instructions(self):
+        assert self.make().total_instructions == 4 + 1 + 0 + 1 + 10 + 1
+
+    def test_memory_accesses(self):
+        assert self.make().memory_accesses == 3
+
+    def test_write_fraction(self):
+        assert self.make().write_fraction == pytest.approx(1 / 3)
+
+    def test_mpki(self):
+        t = self.make()
+        assert t.mpki() == pytest.approx(1000 * 3 / 17)
+
+    def test_empty_trace_metrics(self):
+        t = MemoryTrace([])
+        assert t.mpki() == 0.0
+        assert t.write_fraction == 0.0
+
+    def test_truncated(self):
+        t = self.make().truncated(2)
+        assert len(t) == 2
+        assert t[0].address == 0x100
+
+    def test_repeated(self):
+        t = self.make().repeated(3)
+        assert len(t) == 9
+        assert t[3].address == 0x100
+
+    def test_repeated_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            self.make().repeated(0)
+
+    def test_iteration(self):
+        addresses = [r.address for r in self.make()]
+        assert addresses == [0x100, 0x200, 0x300]

@@ -1,0 +1,109 @@
+"""Unit tests for inter-arrival histograms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.bins import BinSpec
+from repro.core.distribution import InterArrivalHistogram
+
+
+class TestRecording:
+    def test_first_event_records_no_gap(self):
+        h = InterArrivalHistogram()
+        h.record(100)
+        assert h.total == 0
+
+    def test_gap_binned(self):
+        h = InterArrivalHistogram()
+        h.record(0)
+        h.record(100)  # gap 100 → bin 6 (edge 64)
+        assert h.counts[6] == 1
+        assert h.gaps == (100,)
+
+    def test_multiple_gaps(self):
+        h = InterArrivalHistogram()
+        h.record_all([0, 1, 3, 7, 1000])
+        assert h.total == 4
+        assert h.gaps == (1, 2, 4, 993)
+
+    def test_rejects_decreasing_timestamps(self):
+        h = InterArrivalHistogram()
+        h.record(10)
+        with pytest.raises(ConfigurationError):
+            h.record(5)
+
+    def test_zero_gap_allowed(self):
+        h = InterArrivalHistogram()
+        h.record(5)
+        h.record(5)
+        assert h.counts[0] == 1
+
+    def test_from_timestamps(self):
+        h = InterArrivalHistogram.from_timestamps([0, 64, 128])
+        assert h.total == 2
+        assert h.counts[6] == 2
+
+
+class TestFrequencies:
+    def test_empty_frequencies_are_zero(self):
+        h = InterArrivalHistogram()
+        assert h.frequencies() == (0.0,) * 10
+
+    def test_frequencies_sum_to_one(self):
+        h = InterArrivalHistogram.from_timestamps([0, 1, 3, 10, 100])
+        assert sum(h.frequencies()) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=2,
+                    max_size=100))
+    def test_total_matches_event_count(self, gaps):
+        timestamps, t = [0], 0
+        for g in gaps:
+            t += g
+            timestamps.append(t)
+        h = InterArrivalHistogram.from_timestamps(timestamps)
+        assert h.total == len(gaps)
+        assert sum(h.counts) == len(gaps)
+
+
+class TestComparison:
+    def test_tv_distance_identical_is_zero(self):
+        a = InterArrivalHistogram.from_timestamps([0, 1, 2, 4])
+        b = InterArrivalHistogram.from_timestamps([10, 11, 12, 14])
+        assert a.total_variation_distance(b) == pytest.approx(0.0)
+
+    def test_tv_distance_disjoint_is_one(self):
+        a = InterArrivalHistogram.from_timestamps([0, 1, 2])
+        b = InterArrivalHistogram.from_timestamps([0, 512, 1024])
+        assert a.total_variation_distance(b) == pytest.approx(1.0)
+
+    def test_tv_distance_symmetric(self):
+        a = InterArrivalHistogram.from_timestamps([0, 1, 5, 100])
+        b = InterArrivalHistogram.from_timestamps([0, 3, 300, 310])
+        assert a.total_variation_distance(b) == pytest.approx(
+            b.total_variation_distance(a)
+        )
+
+    def test_tv_distance_rejects_mismatched_bins(self):
+        a = InterArrivalHistogram(BinSpec(edges=(1, 2)))
+        b = InterArrivalHistogram(BinSpec(edges=(1, 2, 4)))
+        with pytest.raises(ConfigurationError):
+            a.total_variation_distance(b)
+
+    def test_matches_target(self):
+        h = InterArrivalHistogram(BinSpec(edges=(1, 4)))
+        h.record_all([0, 1, 2, 10])  # gaps 1,1,8 → bins 0,0,1
+        assert h.matches_target([2 / 3, 1 / 3], tolerance=0.01)
+        assert not h.matches_target([0.0, 1.0], tolerance=0.1)
+
+    def test_matches_target_rejects_wrong_length(self):
+        h = InterArrivalHistogram(BinSpec(edges=(1, 4)))
+        with pytest.raises(ConfigurationError):
+            h.matches_target([1.0])
+
+
+class TestBinSequence:
+    def test_sequence_matches_gaps(self):
+        h = InterArrivalHistogram.from_timestamps([0, 1, 3, 67])
+        assert list(h.bin_sequence()) == [0, 1, 6]

@@ -1,0 +1,88 @@
+"""Unit tests for channel-level buses: command bus and data bus."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.dram.channel import Channel
+from repro.dram.timing import DramTiming
+
+
+@pytest.fixture
+def channel(timing):
+    return Channel(timing, ranks_per_channel=2, banks_per_rank=8)
+
+
+class TestCommandBus:
+    def test_one_command_per_cycle(self, channel):
+        channel.activate(0, 0, row=1, cycle=0)
+        # Second command in the same cycle must fail, even to another rank.
+        assert not channel.command_bus_free(0)
+        assert not channel.can_activate(1, 0, cycle=0)
+        with pytest.raises(ProtocolError):
+            channel.activate(1, 0, row=1, cycle=0)
+
+    def test_free_next_cycle(self, channel):
+        channel.activate(0, 0, row=1, cycle=0)
+        assert channel.command_bus_free(1)
+        channel.activate(1, 0, row=1, cycle=1)
+
+
+class TestDataBus:
+    def test_read_returns_burst_end(self, channel, timing):
+        channel.activate(0, 0, row=1, cycle=0)
+        end = channel.read(0, 0, row=1, cycle=timing.tRCD)
+        assert end == timing.tRCD + timing.tCAS + timing.tBURST
+
+    def test_write_returns_burst_end(self, channel, timing):
+        channel.activate(0, 0, row=1, cycle=0)
+        end = channel.write(0, 0, row=1, cycle=timing.tRCD)
+        assert end == timing.tRCD + timing.tCWL + timing.tBURST
+
+    def test_back_to_back_reads_separated_by_tccd(self, channel, timing):
+        """tCCD >= tBURST keeps consecutive bursts from overlapping."""
+        channel.activate(0, 0, row=1, cycle=0)
+        t = timing.tRCD
+        end1 = channel.read(0, 0, row=1, cycle=t)
+        end2 = channel.read(0, 0, row=1, cycle=t + timing.tCCD)
+        assert end2 - end1 == timing.tCCD
+
+    def test_data_bus_conflict_blocks_second_read(self, channel, timing):
+        """Two banks row-open: reads separated less than tBURST conflict."""
+        slow = DramTiming(tCCD=1, burst_length=8)  # tBURST=4 > tCCD
+        ch = Channel(slow, 1, 8)
+        ch.activate(0, 0, row=1, cycle=0)
+        ch.activate(0, 1, row=1, cycle=slow.tRRD)
+        t = slow.tRRD + slow.tRCD
+        ch.read(0, 0, row=1, cycle=t)
+        # Next cycle the command bus is free but the data bus is not.
+        assert not ch.data_bus_free_for(t + 1, 0, is_write=False)
+        assert not ch.can_read(0, 1, row=1, cycle=t + 1)
+        assert ch.can_read(0, 1, row=1, cycle=t + slow.tBURST)
+
+    def test_rank_switch_penalty(self, channel, timing):
+        """Bursts from different ranks need an extra tRTRS gap."""
+        channel.activate(0, 0, row=1, cycle=0)
+        channel.activate(1, 0, row=1, cycle=timing.tRRD)
+        t = timing.tRRD + timing.tRCD
+        channel.read(0, 0, row=1, cycle=t)
+        same_rank_ok = t + timing.tCCD
+        # Same-rank read would be fine at tCCD; other-rank needs tRTRS more.
+        assert not channel.can_read(1, 0, row=1, cycle=same_rank_ok)
+        assert channel.can_read(1, 0, row=1,
+                                cycle=same_rank_ok + timing.tRTRS)
+
+    def test_busy_cycles_accumulate(self, channel, timing):
+        channel.activate(0, 0, row=1, cycle=0)
+        channel.read(0, 0, row=1, cycle=timing.tRCD)
+        channel.read(0, 0, row=1, cycle=timing.tRCD + timing.tCCD)
+        assert channel.data_bus_busy_cycles == 2 * timing.tBURST
+
+
+class TestRefreshOnChannel:
+    def test_refresh_uses_command_bus(self, channel):
+        channel.refresh(0, cycle=0)
+        assert not channel.command_bus_free(0)
+
+    def test_can_refresh_requires_quiet_rank(self, channel, timing):
+        channel.activate(0, 0, row=1, cycle=0)
+        assert not channel.can_refresh(0, cycle=5)

@@ -1,0 +1,112 @@
+"""Unit tests for the top-level DRAM system model."""
+
+import pytest
+
+from repro.dram.address import AddressMapping
+from repro.dram.commands import CommandType, DramCommand
+from repro.dram.organization import DramOrganization
+from repro.dram.system import DramSystem
+from repro.dram.timing import DramTiming
+
+
+@pytest.fixture
+def mapping(organization):
+    return AddressMapping(organization)
+
+
+class TestRequiredCommand:
+    def test_closed_bank_needs_activate(self, dram, mapping):
+        d = mapping.decode(0)
+        cmd = dram.required_command(d, is_write=False)
+        assert cmd.kind is CommandType.ACTIVATE
+
+    def test_open_row_needs_column(self, dram, mapping, timing):
+        d = mapping.decode(0)
+        dram.issue(DramCommand(CommandType.ACTIVATE, d), 0)
+        assert dram.required_command(d, False).kind is CommandType.READ
+        assert dram.required_command(d, True).kind is CommandType.WRITE
+
+    def test_row_conflict_needs_precharge(self, dram, mapping, organization):
+        d0 = mapping.decode(0)
+        # Same bank, different row: one full bank stride of rows away.
+        conflict_addr = organization.row_buffer_bytes * organization.banks_per_rank
+        d1 = mapping.decode(conflict_addr)
+        assert d0.bank == d1.bank and d0.row != d1.row
+        dram.issue(DramCommand(CommandType.ACTIVATE, d0), 0)
+        assert dram.required_command(d1, False).kind is CommandType.PRECHARGE
+
+
+class TestCommandSequence:
+    def test_full_read_sequence(self, dram, mapping, timing):
+        """ACT → RD walks the constraint chain and returns data."""
+        d = mapping.decode(4096)
+        act = dram.required_command(d, False)
+        assert dram.can_issue(act, 0)
+        dram.issue(act, 0)
+        rd = dram.required_command(d, False)
+        assert rd.kind is CommandType.READ
+        assert not dram.can_issue(rd, timing.tRCD - 1)
+        end = dram.issue(rd, timing.tRCD)
+        assert end == timing.tRCD + timing.tCAS + timing.tBURST
+
+    def test_row_hit_tracking(self, dram, mapping, timing):
+        d = mapping.decode(0)
+        assert not dram.is_row_hit(d)
+        dram.issue(DramCommand(CommandType.ACTIVATE, d), 0)
+        assert dram.is_row_hit(d)
+        assert dram.total_activates() == 1
+
+    def test_can_advance_matches_can_issue(self, dram, mapping, timing):
+        """The scheduler fast path agrees with the slow path."""
+        d = mapping.decode(128)
+        for cycle in range(0, 40):
+            cmd = dram.required_command(d, False)
+            assert dram.can_advance(d, False, cycle) == dram.can_issue(cmd, cycle)
+            if dram.can_issue(cmd, cycle):
+                dram.issue(cmd, cycle)
+                if cmd.is_column:
+                    break
+
+
+class TestRefreshManagement:
+    def test_no_refresh_when_disabled(self):
+        dram = DramSystem(enable_refresh=False)
+        assert dram.refresh_due(10**9) == []
+
+    def test_refresh_due_after_trefi(self):
+        dram = DramSystem(enable_refresh=True)
+        assert dram.refresh_due(dram.timing.tREFI - 1) == []
+        assert dram.refresh_due(dram.timing.tREFI) == [(0, 0)]
+
+    def test_refresh_issue_resets_deadline(self):
+        dram = DramSystem(enable_refresh=True)
+        t = dram.timing.tREFI
+        from repro.dram.address import DecodedAddress
+
+        ref = DramCommand(
+            CommandType.REFRESH, DecodedAddress(0, 0, 0, 0, 0)
+        )
+        dram.issue(ref, t)
+        assert dram.refresh_due(t) == []
+        assert dram.refresh_due(2 * t) == [(0, 0)]
+
+    def test_precharge_targets_lists_open_banks(self, mapping):
+        dram = DramSystem(enable_refresh=True)
+        d = mapping.decode(0)
+        dram.issue(DramCommand(CommandType.ACTIVATE, d), 0)
+        assert dram.refresh_precharge_targets(0, 0) == [d.bank]
+
+
+class TestStatistics:
+    def test_data_bus_busy_cycles(self, dram, mapping, timing):
+        d = mapping.decode(0)
+        dram.issue(DramCommand(CommandType.ACTIVATE, d), 0)
+        dram.issue(DramCommand(CommandType.READ, d), timing.tRCD)
+        assert dram.data_bus_busy_cycles() == timing.tBURST
+
+    def test_row_hits_counted_per_column_command(self, dram, mapping, timing):
+        d = mapping.decode(0)
+        dram.issue(DramCommand(CommandType.ACTIVATE, d), 0)
+        dram.issue(DramCommand(CommandType.READ, d), timing.tRCD)
+        dram.issue(DramCommand(CommandType.READ, d), timing.tRCD + timing.tCCD)
+        assert dram.total_row_hits() == 2

@@ -1,0 +1,66 @@
+"""Unit tests for DDR3 timing parameters."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dram.timing import DramTiming
+
+
+class TestDefaults:
+    def test_defaults_are_ddr3_1333(self):
+        t = DramTiming()
+        assert t.tRCD == 9
+        assert t.tRP == 9
+        assert t.tCAS == 9
+        assert t.tRAS == 24
+
+    def test_trc_is_tras_plus_trp(self):
+        t = DramTiming()
+        assert t.tRC == t.tRAS + t.tRP
+
+    def test_tburst_is_half_burst_length(self):
+        assert DramTiming(burst_length=8).tBURST == 4
+        assert DramTiming(burst_length=4).tBURST == 2
+
+    def test_read_latency(self):
+        t = DramTiming()
+        assert t.read_latency == t.tCAS + t.tBURST
+
+    def test_write_latency(self):
+        t = DramTiming()
+        assert t.write_latency == t.tCWL + t.tBURST
+
+
+class TestLatencyHelpers:
+    def test_latency_ordering(self):
+        """Row hit < closed bank < row conflict — the locality ladder."""
+        t = DramTiming()
+        assert t.row_hit_latency() < t.row_closed_latency()
+        assert t.row_closed_latency() < t.row_conflict_latency()
+
+    def test_row_conflict_adds_precharge(self):
+        t = DramTiming()
+        assert t.row_conflict_latency() - t.row_closed_latency() == t.tRP
+
+    def test_row_closed_adds_rcd(self):
+        t = DramTiming()
+        assert t.row_closed_latency() - t.row_hit_latency() == t.tRCD
+
+
+class TestValidation:
+    def test_rejects_zero_parameter(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(tRCD=0)
+
+    def test_rejects_negative_parameter(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(tWR=-1)
+
+    def test_rejects_odd_burst_length(self):
+        with pytest.raises(ConfigurationError):
+            DramTiming(burst_length=7)
+
+    def test_frozen(self):
+        t = DramTiming()
+        with pytest.raises(Exception):
+            t.tRCD = 5

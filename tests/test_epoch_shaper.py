@@ -1,0 +1,206 @@
+"""Tests for the Fletcher'14 epoch-rate shaper (paper reference [14])."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.core.epoch_shaper import (
+    EpochRateController,
+    EpochRateShaper,
+    RateSet,
+)
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.noc.link import SharedLink
+
+
+class TestRateSet:
+    def test_defaults(self):
+        rs = RateSet()
+        assert rs.num_rates == 6
+        assert rs.bits_per_choice() == pytest.approx(math.log2(6))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            RateSet(())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigurationError):
+            RateSet((16, 8))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            RateSet((8, 8, 16))
+
+    def test_interval_for_demand_matches(self):
+        rs = RateSet((8, 16, 32))
+        # 100 accesses over 1600 cycles need interval <= 16.
+        assert rs.interval_for_demand(100, 1600) == 16
+
+    def test_interval_for_no_demand_is_slowest(self):
+        assert RateSet((8, 16, 32)).interval_for_demand(0, 1000) == 32
+
+    def test_interval_for_huge_demand_is_fastest(self):
+        assert RateSet((8, 16, 32)).interval_for_demand(10_000, 1000) == 8
+
+
+class TestController:
+    def test_starts_at_slowest(self):
+        c = EpochRateController(RateSet((8, 16, 32)), epoch_cycles=100)
+        assert c.current_interval == 32
+
+    def test_explicit_initial_interval(self):
+        c = EpochRateController(RateSet((8, 16, 32)), epoch_cycles=100,
+                                initial_interval=16)
+        assert c.current_interval == 16
+
+    def test_rejects_interval_outside_set(self):
+        with pytest.raises(ConfigurationError):
+            EpochRateController(RateSet((8, 16)), epoch_cycles=100,
+                                initial_interval=10)
+
+    def test_demand_drives_rate(self):
+        c = EpochRateController(RateSet((8, 16, 32)), epoch_cycles=100)
+        for _ in range(12):
+            c.note_demand()  # needs interval <= 8.3
+        assert c.maybe_advance_epoch(100)
+        assert c.current_interval == 8
+        assert c.rate_history == [(100, 8)]
+
+    def test_no_boundary_no_change(self):
+        c = EpochRateController(RateSet((8, 16, 32)), epoch_cycles=100)
+        assert not c.maybe_advance_epoch(99)
+
+    def test_feedback_pressure_steps_faster(self):
+        c = EpochRateController(RateSet((8, 16, 32)), epoch_cycles=100)
+        c.maybe_advance_with_feedback(100, pressure=True, idle=False)
+        assert c.current_interval == 16
+
+    def test_feedback_idle_steps_slower(self):
+        c = EpochRateController(RateSet((8, 16, 32)), epoch_cycles=100,
+                                initial_interval=8)
+        c.maybe_advance_with_feedback(100, pressure=False, idle=True)
+        assert c.current_interval == 16
+
+    def test_feedback_clamps_at_extremes(self):
+        c = EpochRateController(RateSet((8, 16)), epoch_cycles=100,
+                                initial_interval=8)
+        c.maybe_advance_with_feedback(100, pressure=True, idle=False)
+        assert c.current_interval == 8
+        c2 = EpochRateController(RateSet((8, 16)), epoch_cycles=100)
+        c2.maybe_advance_with_feedback(100, pressure=False, idle=True)
+        assert c2.current_interval == 16
+
+    def test_epochs_elapsed(self):
+        c = EpochRateController(RateSet((8, 16)), epoch_cycles=100)
+        c.maybe_advance_epoch(350)
+        assert c.epochs_elapsed == 3
+
+
+def make_shaper(epoch_cycles=256, rates=None):
+    link = SharedLink(num_ports=1, latency=1, port_capacity=64)
+    shaper = EpochRateShaper(
+        core_id=0, link=link, port=0, rng=DeterministicRng(5),
+        rates=rates or RateSet((4, 8, 16)), epoch_cycles=epoch_cycles,
+    )
+    return shaper, link
+
+
+def make_txn(cycle=0):
+    return MemoryTransaction(core_id=0, address=0x4000,
+                             kind=TransactionType.READ, created_cycle=cycle)
+
+
+class TestEpochRateShaper:
+    def test_periodic_releases(self):
+        """Inside one epoch the observable stream is strictly periodic."""
+        shaper, link = make_shaper(epoch_cycles=256)
+        for cycle in range(250):
+            shaper.tick(cycle)
+        releases = sorted(g for g, _, _ in link.grant_trace)
+        # All events come from link.tick; shaper injected periodically.
+        gaps = {b - a for a, b in zip(releases, releases[1:])}
+        assert not gaps  # nothing granted: link never ticked
+        # Check injection periodicity directly via the shaped histogram.
+        gaps = set(shaper.shaped_histogram.gaps)
+        assert gaps == {16}  # initial (slowest) interval
+
+    def test_fake_fills_idle_slots(self):
+        shaper, _ = make_shaper()
+        for cycle in range(200):
+            shaper.tick(cycle)
+        assert shaper.fake_sent > 0
+        assert shaper.real_sent == 0
+
+    def test_real_preferred_over_fake(self):
+        shaper, link = make_shaper()
+        txn = make_txn()
+        shaper.submit(txn, 0)
+        for cycle in range(40):
+            shaper.tick(cycle)
+        assert shaper.real_sent == 1
+        assert txn.shaper_release_cycle is not None
+
+    def test_backpressure_via_capacity(self):
+        shaper, _ = make_shaper()
+        for _ in range(32):
+            shaper.submit(make_txn(), 0)
+        assert not shaper.can_accept(0)
+
+    def test_pressure_escalates_rate(self):
+        shaper, _ = make_shaper(epoch_cycles=256)
+        cycle = 0
+        for cycle in range(1500):
+            if shaper.can_accept(0) and cycle % 4 == 0:
+                shaper.submit(make_txn(cycle), cycle)
+            shaper.tick(cycle)
+        # Demand of 1/4 cycles needs the fastest rate; the AIMD path
+        # must have walked the interval down from 16 to 4.
+        assert shaper.controller.current_interval == 4
+
+    def test_leakage_bound_grows_with_epochs(self):
+        shaper, _ = make_shaper(epoch_cycles=256)
+        for cycle in range(1100):
+            shaper.tick(cycle)
+        expected_epochs = shaper.controller.epochs_elapsed
+        assert shaper.leakage_bound_bits() == pytest.approx(
+            expected_epochs * math.log2(3)
+        )
+
+
+class TestEpochShaperInSystem:
+    def test_system_integration(self):
+        from repro.sim import EpochShapingPlan, SystemBuilder
+        from repro.workloads import make_trace
+
+        builder = SystemBuilder(seed=3)
+        builder.add_core(
+            make_trace("apache", 1500),
+            epoch_shaping=EpochShapingPlan(epoch_cycles=2048),
+        )
+        system = builder.build()
+        report = system.run(20000, stop_when_done=False)
+        path = system.request_paths[0]
+        assert path.real_sent > 0
+        assert path.fake_sent > 0
+        assert report.core(0).retired_instructions > 0
+
+    def test_exclusive_with_bin_shaping(self):
+        from repro.core.bins import BinConfiguration
+        from repro.sim import (
+            EpochShapingPlan,
+            RequestShapingPlan,
+            SystemBuilder,
+        )
+        from repro.workloads import make_trace
+
+        builder = SystemBuilder()
+        with pytest.raises(ConfigurationError):
+            builder.add_core(
+                make_trace("gcc", 10),
+                request_shaping=RequestShapingPlan(
+                    config=BinConfiguration((1,) * 10)
+                ),
+                epoch_shaping=EpochShapingPlan(),
+            )

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Each example asserts its own headline claim internally (e.g. the
+covert demo asserts the key is hidden), so a zero exit status means
+the demonstrated behaviour actually held.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: tune_with_ga runs a full GA CONFIG phase (~1 minute) — exercised by
+#: the GA benchmarks instead.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "covert_channel_demo.py",
+    "side_channel_defense.py",
+    "pin_monitoring_defense.py",
+    "phase_adaptive_tuning.py",
+    "explore_tradeoff.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_are_listed():
+    """Every example on disk is either smoke-tested or known-slow."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | {"tune_with_ga.py"}
+    assert on_disk == covered

@@ -1,0 +1,67 @@
+"""Unit tests for experiment-driver internals."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentDefaults,
+    _avg_slowdown,
+    _mix_names,
+    derive_response_config,
+    fig9_experiment,
+)
+
+
+class TestMixNames:
+    def test_adversary_plus_three_victims(self):
+        assert _mix_names("gcc", "mcf") == ["gcc", "mcf", "mcf", "mcf"]
+
+
+class TestAvgSlowdown:
+    def test_simple_mean(self):
+        assert _avg_slowdown([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_skips_dead_cores(self):
+        value = _avg_slowdown([0.0, 1.0], [2.0, 2.0])
+        assert value == pytest.approx(2.0)
+
+    def test_all_dead_is_infinite(self):
+        assert _avg_slowdown([0.0], [2.0]) == float("inf")
+
+    def test_skips_zero_alone(self):
+        assert _avg_slowdown([1.0, 1.0], [0.0, 3.0]) == pytest.approx(3.0)
+
+
+class TestDeriveResponseConfig:
+    FAST = dataclasses.replace(ExperimentDefaults(), accesses=800,
+                               cycles=8000)
+
+    def test_rate_scale_shrinks_budget(self):
+        full = derive_response_config(
+            _mix_names("gcc", "astar"), 0, self.FAST, rate_scale=1.0
+        )
+        tight = derive_response_config(
+            _mix_names("gcc", "astar"), 0, self.FAST, rate_scale=0.5
+        )
+        assert tight.total_credits < full.total_credits
+
+    def test_valid_configuration(self):
+        config = derive_response_config(
+            _mix_names("gcc", "astar"), 0, self.FAST
+        )
+        assert config.num_bins == 10
+        assert config.total_credits >= 1
+
+
+class TestFig9Shape:
+    def test_returns_both_curves(self):
+        fast = dataclasses.replace(ExperimentDefaults(), accesses=800,
+                                   cycles=8000)
+        result = fig9_experiment("gcc", fast)
+        assert set(result) == {
+            "frfcfs_difference", "camouflage_difference", "baseline_total"
+        }
+        assert isinstance(result["frfcfs_difference"], np.ndarray)
+        assert result["baseline_total"] > 0

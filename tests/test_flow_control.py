@@ -1,0 +1,190 @@
+"""Tests for return-channel flow control and FS dummy-slot fill.
+
+Both mechanisms were added for fidelity to the paper: the controller's
+bounded egress ("rate limit responses and prevent overflow on the
+return channels", section V) and Fixed Service's constant injection
+via dummy requests (Shafiee'15 as characterized in section II-B).
+"""
+
+import pytest
+
+from repro.core.bins import BinConfiguration, BinSpec
+from repro.dram.system import DramSystem
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.schedulers import FixedServiceScheduler
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.sim.system import ResponseShapingPlan, SystemBuilder
+from repro.workloads.spec import make_trace
+
+
+def make_txn(core=0, address=0):
+    return MemoryTransaction(
+        core_id=core, address=address, kind=TransactionType.READ,
+        created_cycle=0,
+    )
+
+
+class TestEgressFlowControl:
+    def make_controller(self, egress_capacity=2):
+        dram = DramSystem(enable_refresh=False)
+        return MemoryController(dram, egress_capacity=egress_capacity)
+
+    def test_egress_room_tracking(self):
+        mc = self.make_controller(egress_capacity=2)
+        assert mc.egress_has_room(0)
+        mc.enqueue(make_txn(address=0), 0)
+        mc.enqueue(make_txn(address=8192), 0)
+        mc.enqueue(make_txn(address=16384), 0)
+        for cycle in range(300):
+            mc.tick(cycle)
+        # Only two transactions may be completed-and-held; the third
+        # stays in the queue until the egress drains.
+        assert mc.pending_response_count(0) == 2
+        assert len(mc.queue) == 1
+        assert not mc.egress_has_room(0)
+
+    def test_draining_resumes_service(self):
+        mc = self.make_controller(egress_capacity=2)
+        for i in range(3):
+            mc.enqueue(make_txn(address=i * 8192), 0)
+        for cycle in range(300):
+            mc.tick(cycle)
+        popped = mc.pop_responses(0, limit=1)
+        assert len(popped) == 1
+        for cycle in range(300, 600):
+            mc.tick(cycle)
+        assert mc.pending_response_count(0) == 2  # third one completed
+
+    def test_pop_limit_semantics(self):
+        mc = self.make_controller(egress_capacity=4)
+        for i in range(3):
+            mc.enqueue(make_txn(address=i * 8192), 0)
+        for cycle in range(400):
+            mc.tick(cycle)
+        assert mc.pop_responses(0, limit=0) == []
+        two = mc.pop_responses(0, limit=2)
+        assert len(two) == 2
+        rest = mc.pop_responses(0)
+        assert len(rest) == 1
+
+    def test_per_core_isolation(self):
+        """One core's clogged egress must not block another core."""
+        mc = self.make_controller(egress_capacity=1)
+        mc.enqueue(make_txn(core=0, address=0), 0)
+        mc.enqueue(make_txn(core=0, address=8192), 0)
+        mc.enqueue(make_txn(core=1, address=1 << 22), 0)
+        for cycle in range(400):
+            mc.tick(cycle)
+        assert mc.pending_response_count(1) == 1
+
+    def test_respc_backpressure_slows_core(self):
+        """A hard response throttle propagates all the way to IPC."""
+        spec = BinSpec()
+        slow = BinConfiguration((0,) * 9 + (2,))
+
+        def ipc(plan):
+            builder = SystemBuilder(seed=5)
+            builder.add_core(make_trace("mcf", 1500),
+                             response_shaping=plan)
+            return builder.build().run(
+                15000, stop_when_done=False
+            ).core(0).ipc
+
+        throttled = ipc(ResponseShapingPlan(config=slow, spec=spec,
+                                            generate_fake=False,
+                                            enable_warning=False))
+        free = ipc(None)
+        assert throttled < free / 2
+
+
+class TestFixedServiceDummies:
+    def test_dummy_injected_on_empty_slot(self):
+        dram = DramSystem(enable_refresh=False)
+        sched = FixedServiceScheduler(num_cores=2, interval=40)
+        mc = MemoryController(dram, scheduler=sched)
+        for cycle in range(500):
+            mc.tick(cycle)
+        assert mc.dummy_transactions > 0
+        assert sched.dummy_fill
+
+    def test_constant_injection_rate(self):
+        """FS's security property: per-core service is one per
+        interval regardless of demand."""
+        dram = DramSystem(enable_refresh=False)
+        sched = FixedServiceScheduler(num_cores=1, interval=50)
+        mc = MemoryController(dram, scheduler=sched)
+        cycles = 2000
+        for cycle in range(cycles):
+            mc.tick(cycle)
+            mc.pop_responses(0)
+        # ~one dummy per slot; allow slack for DRAM command latency.
+        expected = cycles // 50
+        assert expected * 0.7 <= mc.dummy_transactions <= expected
+
+    def test_no_dummy_when_disabled(self):
+        dram = DramSystem(enable_refresh=False)
+        sched = FixedServiceScheduler(num_cores=2, interval=40,
+                                      dummy_fill=False)
+        mc = MemoryController(dram, scheduler=sched)
+        for cycle in range(500):
+            mc.tick(cycle)
+        assert mc.dummy_transactions == 0
+
+    def test_real_requests_take_the_slot(self):
+        dram = DramSystem(enable_refresh=False)
+        sched = FixedServiceScheduler(num_cores=1, interval=40)
+        mc = MemoryController(dram, scheduler=sched)
+        mc.enqueue(make_txn(address=4096), 0)
+        for cycle in range(60):
+            mc.tick(cycle)
+        # The real transaction was served in its slot; no dummy for it.
+        assert mc.issued_reads >= 1
+
+    def test_non_fs_scheduler_never_injects(self):
+        dram = DramSystem(enable_refresh=False)
+        mc = MemoryController(dram)  # FR-FCFS
+        for cycle in range(500):
+            mc.tick(cycle)
+        assert mc.dummy_transactions == 0
+
+
+class TestSetBoost:
+    def test_set_replaces_rather_than_accumulates(self):
+        from repro.memctrl.schedulers import PriorityFrFcfsScheduler
+
+        sched = PriorityFrFcfsScheduler(num_cores=1)
+        sched.set_boost(0, 10)
+        sched.set_boost(0, 4)
+        assert sched.boost_of(0) == 4
+
+    def test_add_still_accumulates(self):
+        from repro.memctrl.schedulers import PriorityFrFcfsScheduler
+
+        sched = PriorityFrFcfsScheduler(num_cores=1)
+        sched.add_boost(0, 3)
+        sched.add_boost(0, 3)
+        assert sched.boost_of(0) == 6
+
+    def test_respc_warning_does_not_pile_up(self):
+        """Repeated warnings keep the boost bounded by one period's
+        unused credits — the anti-starvation property."""
+        from repro.core.response_shaper import ResponseCamouflage
+        from repro.core.shaper import BinShaper
+        from repro.memctrl.schedulers import PriorityFrFcfsScheduler
+        from repro.noc.link import SharedLink
+
+        spec = BinSpec(edges=(1, 2, 4, 8), replenish_period=32)
+        sched = PriorityFrFcfsScheduler(num_cores=1)
+        respc = ResponseCamouflage(
+            core_id=0,
+            shaper=BinShaper(spec, BinConfiguration((2, 2, 2, 2))),
+            link=SharedLink(num_ports=1, latency=1),
+            port=0,
+            scheduler=sched,
+            outstanding_fn=lambda: 5,
+            generate_fake=False,
+        )
+        for cycle in range(1, 500):
+            respc.tick(cycle)
+        assert respc.warnings_sent > 5
+        assert sched.boost_of(0) <= 8  # one period's credit total

@@ -1,0 +1,158 @@
+"""Unit tests for the genetic algorithm and MISE slowdown model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.ga.genetic import GaConfig, GeneticAlgorithm
+from repro.ga.mise import MiseMeasurement, mise_slowdown
+
+
+def make_ga(**overrides):
+    defaults = dict(
+        genome_length=6, max_gene=16, population_size=10, generations=8,
+    )
+    defaults.update(overrides)
+    return GeneticAlgorithm(GaConfig(**defaults), DeterministicRng(42))
+
+
+class TestGaConfig:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ConfigurationError):
+            GaConfig(genome_length=4, max_gene=8, population_size=1)
+
+    def test_rejects_elite_ge_population(self):
+        with pytest.raises(ConfigurationError):
+            GaConfig(genome_length=4, max_gene=8, population_size=4,
+                     elite_count=4)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigurationError):
+            GaConfig(genome_length=4, max_gene=8, mutation_rate=1.5)
+
+
+class TestOperators:
+    def test_random_genome_valid(self):
+        ga = make_ga()
+        for _ in range(50):
+            g = ga.random_genome()
+            assert len(g) == 6
+            assert all(0 <= v <= 16 for v in g)
+            assert sum(g) > 0
+
+    def test_mutation_stays_in_range(self):
+        ga = make_ga(mutation_rate=1.0)
+        genome = (0, 16, 8, 1, 5, 2)
+        for _ in range(50):
+            mutated = ga.mutate(genome)
+            assert all(0 <= v <= 16 for v in mutated)
+            assert sum(mutated) > 0
+
+    def test_crossover_genes_from_parents(self):
+        ga = make_ga(crossover_rate=1.0)
+        a = (1, 1, 1, 1, 1, 1)
+        b = (9, 9, 9, 9, 9, 9)
+        child = ga.crossover(a, b)
+        assert all(v in (1, 9) for v in child)
+
+    def test_crossover_rate_zero_clones(self):
+        ga = make_ga(crossover_rate=0.0)
+        a = (1, 2, 3, 4, 5, 6)
+        assert ga.crossover(a, (9,) * 6) == a
+
+    def test_repair_fixes_all_zero(self):
+        ga = make_ga()
+        repaired = ga._repair((0, 0, 0, 0, 0, 0))
+        assert sum(repaired) == 1
+
+
+class TestEvolution:
+    def test_minimizes_simple_objective(self):
+        """The GA should find (near-)zero for sum-of-genes."""
+        ga = make_ga(generations=15, population_size=16)
+        best, fitness = ga.evolve(lambda g: float(sum(g)))
+        assert fitness <= 8  # far below random expectation (~48)
+
+    def test_finds_target_vector(self):
+        target = (4, 0, 8, 2, 16, 1)
+        ga = make_ga(generations=25, population_size=20)
+        best, fitness = ga.evolve(
+            lambda g: float(sum(abs(a - b) for a, b in zip(g, target)))
+        )
+        assert fitness < 10
+
+    def test_history_length(self):
+        ga = make_ga(generations=5)
+        ga.evolve(lambda g: float(sum(g)))
+        assert len(ga.history) == 5
+
+    def test_history_best_is_monotone_enough(self):
+        """Elitism: the best-so-far never gets lost."""
+        ga = make_ga(generations=10, elite_count=2)
+        ga.evolve(lambda g: float(sum(g)))
+        running_best = [min(ga.history[: i + 1]) for i in range(len(ga.history))]
+        assert running_best == sorted(running_best, reverse=True)
+
+    def test_seed_population_used(self):
+        seed = (0, 0, 0, 0, 0, 1)
+        ga = make_ga(generations=1, elite_count=1)
+        best, fitness = ga.evolve(lambda g: float(sum(g)),
+                                  seed_population=[seed])
+        assert fitness <= 1.0
+
+    def test_seed_length_validated(self):
+        ga = make_ga()
+        with pytest.raises(ConfigurationError):
+            ga.evolve(lambda g: 0.0, seed_population=[(1, 2)])
+
+    def test_deterministic_given_seed(self):
+        a = make_ga().evolve(lambda g: float(sum(g)))
+        b = make_ga().evolve(lambda g: float(sum(g)))
+        assert a == b
+
+
+class TestMise:
+    def test_no_slowdown_when_rates_equal(self):
+        assert mise_slowdown(0.5, 0.01, 0.01) == pytest.approx(1.0)
+
+    def test_compute_bound_app_immune(self):
+        """alpha=0: memory cannot slow the program down."""
+        assert mise_slowdown(0.0, 0.01, 0.001) == pytest.approx(1.0)
+
+    def test_memory_bound_app_scales_with_rates(self):
+        assert mise_slowdown(1.0, 0.02, 0.01) == pytest.approx(2.0)
+
+    def test_partial_alpha(self):
+        # 50% stall fraction, rate halved → 0.5 + 0.5*2 = 1.5
+        assert mise_slowdown(0.5, 0.02, 0.01) == pytest.approx(1.5)
+
+    def test_zero_alone_rate_is_one(self):
+        assert mise_slowdown(0.9, 0.0, 0.0) == 1.0
+
+    def test_starved_app_saturates(self):
+        assert mise_slowdown(0.5, 0.01, 0.0) > 1000
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            mise_slowdown(1.5, 1, 1)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ConfigurationError):
+            mise_slowdown(0.5, -1, 1)
+
+    def test_measurement_dataclass(self):
+        m = MiseMeasurement(alpha=0.5, service_rate_alone=0.02,
+                            service_rate_shared=0.01)
+        assert m.slowdown == pytest.approx(1.5)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.001, max_value=1.0),
+        st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_slowdown_at_least_compute_fraction(self, alpha, alone, shared):
+        """Slowdown >= 1 whenever the shared rate <= alone rate."""
+        if shared <= alone:
+            assert mise_slowdown(alpha, alone, shared) >= 1.0 - 1e-9

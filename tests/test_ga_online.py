@@ -1,0 +1,128 @@
+"""Tests for the online GA tuner (Figure 8 protocol)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.bins import BinConfiguration, BinSpec
+from repro.ga.online import OnlineGaTuner, ShaperHandle, TunerConfig
+from repro.sim.system import RequestShapingPlan, SystemBuilder
+from repro.workloads.spec import make_trace
+
+
+def build_tunable_system(num_cores=2):
+    spec = BinSpec()
+    builder = SystemBuilder(seed=5).with_scheduler("priority")
+    for i in range(num_cores):
+        builder.add_core(
+            make_trace("gcc" if i == 0 else "mcf", 4000, seed=i,
+                       base_address=i << 33),
+            request_shaping=RequestShapingPlan(
+                config=BinConfiguration((4,) * 10), spec=spec
+            ),
+        )
+    system = builder.build()
+    handles = [
+        ShaperHandle(
+            name=f"req{i}",
+            num_bins=10,
+            reconfigure=system.request_paths[i].shaper.reconfigure,
+        )
+        for i in range(num_cores)
+    ]
+    return system, handles
+
+
+class TestValidation:
+    def test_requires_priority_scheduler(self):
+        builder = SystemBuilder()
+        builder.add_core(make_trace("gcc", 100))
+        system = builder.build()
+        with pytest.raises(ConfigurationError):
+            OnlineGaTuner(system, [ShaperHandle("x", 10, lambda c: None)])
+
+    def test_requires_handles(self):
+        system, _ = build_tunable_system()
+        with pytest.raises(ConfigurationError):
+            OnlineGaTuner(system, [])
+
+    def test_tuner_config_respects_register_width(self):
+        with pytest.raises(ConfigurationError):
+            TunerConfig(max_gene=2000)
+
+    def test_genome_length(self):
+        system, handles = build_tunable_system()
+        tuner = OnlineGaTuner(system, handles)
+        assert tuner.genome_length == 20
+
+
+class TestApplyGenome:
+    def test_splits_segments(self):
+        system, handles = build_tunable_system()
+        tuner = OnlineGaTuner(system, handles)
+        genome = tuple(range(1, 21))
+        tuner.apply_genome(genome)
+        # Configs are double-buffered; force the boundary.
+        for i in (0, 1):
+            system.request_paths[i].shaper.replenish_if_due(
+                system.request_paths[i].shaper.next_replenish_cycle
+            )
+        assert system.request_paths[0].shaper.config.credits == tuple(
+            range(1, 11)
+        )
+        assert system.request_paths[1].shaper.config.credits == tuple(
+            range(11, 21)
+        )
+
+    def test_dead_segment_repaired(self):
+        system, handles = build_tunable_system()
+        tuner = OnlineGaTuner(system, handles)
+        genome = (0,) * 10 + (1,) * 10
+        tuner.apply_genome(genome)  # must not raise: segment repaired
+
+    def test_wrong_length_rejected(self):
+        system, handles = build_tunable_system()
+        tuner = OnlineGaTuner(system, handles)
+        with pytest.raises(ConfigurationError):
+            tuner.apply_genome((1, 2, 3))
+
+
+class TestTune:
+    def test_small_tuning_run_completes(self):
+        system, handles = build_tunable_system()
+        tuner = OnlineGaTuner(
+            system,
+            handles,
+            config=TunerConfig(
+                epoch_cycles=400, profile_cycles=200,
+                population_size=4, generations=2,
+            ),
+        )
+        result = tuner.tune()
+        assert len(result.best_genome) == 20
+        assert result.best_fitness > 0
+        assert len(result.fitness_history) == 2
+        assert result.config_phase_cycles > 0
+
+    def test_exclusive_mode_cleared_after_profiling(self):
+        system, handles = build_tunable_system()
+        tuner = OnlineGaTuner(
+            system, handles,
+            config=TunerConfig(
+                epoch_cycles=300, profile_cycles=150,
+                population_size=4, generations=1,
+            ),
+        )
+        tuner.tune()
+        assert system.scheduler.exclusive_core is None
+
+    def test_seeded_tune_not_worse_than_seed(self):
+        """With elitism, the winner is at least as fit as the seed."""
+        system, handles = build_tunable_system()
+        config = TunerConfig(
+            epoch_cycles=400, profile_cycles=200,
+            population_size=4, generations=2,
+        )
+        tuner = OnlineGaTuner(system, handles, config=config)
+        seed = (8,) * 20
+        result = tuner.tune(seed_genomes=[seed])
+        assert result.best_fitness <= max(result.fitness_history) + 1e9

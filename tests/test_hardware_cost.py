@@ -1,0 +1,63 @@
+"""Tests for the hardware cost model (paper III-A3)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.bins import BinSpec
+from repro.core.hardware_cost import (
+    ShaperCost,
+    bdc_per_core_cost,
+    request_shaper_cost,
+    response_shaper_cost,
+)
+
+
+class TestRequestShaperCost:
+    def test_register_files_dominate(self):
+        """Three 10x10-bit register files = 300 bits (section III-A3)."""
+        cost = request_shaper_cost(BinSpec())
+        assert cost.storage_bits >= 300
+        # ...but not wildly more: counters and the LFSR are small.
+        assert cost.storage_bits < 500
+
+    def test_scales_with_bins(self):
+        small = request_shaper_cost(BinSpec(edges=(1, 2, 4, 8),
+                                            replenish_period=64))
+        big = request_shaper_cost(BinSpec())
+        assert big.storage_bits > small.storage_bits
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ConfigurationError):
+            request_shaper_cost(BinSpec(), credit_bits=0)
+
+
+class TestResponseShaperCost:
+    def test_queue_adds_storage(self):
+        req = request_shaper_cost(BinSpec())
+        resp = response_shaper_cost(BinSpec())
+        assert resp.total_bits > req.total_bits
+        assert resp.queue_bits == 16 * 64
+
+    def test_rejects_bad_queue(self):
+        with pytest.raises(ConfigurationError):
+            response_shaper_cost(BinSpec(), queue_entries=0)
+
+
+class TestPaperClaim:
+    def test_under_point_one_percent_of_core(self):
+        """The headline III-A3 claim: the full per-core BDC hardware is
+        below 0.1% of a two-way OoO core."""
+        cost = bdc_per_core_cost(BinSpec())
+        assert cost.fraction_of_core() < 0.001
+
+    def test_gate_equivalents_positive_and_small(self):
+        cost = bdc_per_core_cost(BinSpec())
+        assert 0 < cost.gate_equivalents < 50_000
+
+
+class TestShaperCostArithmetic:
+    def test_totals(self):
+        cost = ShaperCost(storage_bits=100, comparator_bits=50,
+                          queue_bits=20)
+        assert cost.total_bits == 120
+        assert cost.gate_equivalents == 120 * 6 + 50

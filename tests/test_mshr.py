@@ -1,0 +1,105 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.cache.mshr import MshrFile
+
+
+class TestAllocation:
+    def test_starts_empty(self):
+        m = MshrFile(4)
+        assert len(m) == 0 and not m.is_full
+
+    def test_allocate(self):
+        m = MshrFile(4)
+        entry = m.allocate(0x1000, cycle=5, instruction_seq=10, is_write=False)
+        assert entry.line_address == 0x1000
+        assert entry.allocated_cycle == 5
+        assert entry.waiting_instructions == [10]
+        assert len(m) == 1
+
+    def test_full_at_capacity(self):
+        m = MshrFile(2)
+        m.allocate(0, 0, 0, False)
+        m.allocate(64, 0, 1, False)
+        assert m.is_full
+
+    def test_allocate_into_full_raises(self):
+        m = MshrFile(1)
+        m.allocate(0, 0, 0, False)
+        with pytest.raises(ProtocolError):
+            m.allocate(64, 0, 1, False)
+
+    def test_double_allocate_same_line_raises(self):
+        m = MshrFile(4)
+        m.allocate(0, 0, 0, False)
+        with pytest.raises(ProtocolError):
+            m.allocate(0, 1, 1, False)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MshrFile(0)
+
+
+class TestMerging:
+    def test_merge_attaches_instruction(self):
+        m = MshrFile(4)
+        m.allocate(0, 0, 0, False)
+        m.merge(0, 7, False)
+        assert m.lookup(0).waiting_instructions == [0, 7]
+        assert m.merges == 1
+        assert len(m) == 1  # merging does not consume an entry
+
+    def test_merge_write_upgrades_entry(self):
+        m = MshrFile(4)
+        m.allocate(0, 0, 0, False)
+        m.merge(0, 1, True)
+        assert m.lookup(0).is_write
+
+    def test_merge_missing_raises(self):
+        m = MshrFile(4)
+        with pytest.raises(ProtocolError):
+            m.merge(0, 0, False)
+
+
+class TestRelease:
+    def test_release_returns_entry(self):
+        m = MshrFile(4)
+        m.allocate(0, 3, 0, False)
+        entry = m.release(0)
+        assert entry.allocated_cycle == 3
+        assert len(m) == 0
+
+    def test_release_frees_capacity(self):
+        m = MshrFile(1)
+        m.allocate(0, 0, 0, False)
+        m.release(0)
+        m.allocate(64, 1, 1, False)  # no longer full
+
+    def test_release_missing_raises(self):
+        m = MshrFile(4)
+        with pytest.raises(ProtocolError):
+            m.release(0x40)
+
+
+class TestObservers:
+    def test_oldest_allocation_cycle(self):
+        m = MshrFile(4)
+        assert m.oldest_allocation_cycle() is None
+        m.allocate(0, 10, 0, False)
+        m.allocate(64, 5, 1, False)
+        assert m.oldest_allocation_cycle() == 5
+
+    def test_outstanding_lines(self):
+        m = MshrFile(4)
+        m.allocate(0, 0, 0, False)
+        m.allocate(128, 0, 1, False)
+        assert sorted(m.outstanding_lines()) == [0, 128]
+
+    def test_allocation_counter(self):
+        m = MshrFile(4)
+        m.allocate(0, 0, 0, False)
+        m.release(0)
+        m.allocate(0, 1, 1, False)
+        assert m.allocations == 2

@@ -1,0 +1,208 @@
+"""Tests for the 2D-mesh NoC."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.noc.mesh import MeshConfig, MeshNetwork
+
+
+def make_txn(core=0):
+    return MemoryTransaction(
+        core_id=core, address=0, kind=TransactionType.READ, created_cycle=0
+    )
+
+
+def run_until_delivered(mesh, expected, max_cycles=500):
+    arrived = []
+    for cycle in range(max_cycles):
+        mesh.tick(cycle)
+        arrived.extend(mesh.pop_arrivals(cycle))
+        if len(arrived) >= expected:
+            break
+    return arrived
+
+
+class TestGeometry:
+    def test_grid_fits_cores_and_hub(self):
+        mesh = MeshNetwork(num_ports=4)
+        assert mesh.num_nodes >= 5
+        assert mesh.hub_node == mesh.num_nodes - 1
+
+    def test_eight_cores(self):
+        mesh = MeshNetwork(num_ports=8)
+        assert mesh.width * mesh.height >= 9
+
+    def test_hop_distance_positive(self):
+        mesh = MeshNetwork(num_ports=4)
+        assert all(mesh.hop_distance(p) >= 1 for p in range(4))
+
+    def test_position_dependent_distance(self):
+        """Different cores sit at different distances from the hub."""
+        mesh = MeshNetwork(num_ports=8)
+        distances = {mesh.hop_distance(p) for p in range(8)}
+        assert len(distances) > 1
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(num_ports=0)
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(num_ports=2, direction="sideways")
+        with pytest.raises(ConfigurationError):
+            MeshConfig(buffer_depth=0)
+
+
+class TestDeliveryToHub:
+    def test_single_transaction_delivered(self):
+        mesh = MeshNetwork(num_ports=4)
+        txn = make_txn(0)
+        mesh.inject(0, txn)
+        arrived = run_until_delivered(mesh, 1)
+        assert arrived == [txn]
+
+    def test_latency_scales_with_distance(self):
+        mesh = MeshNetwork(num_ports=8)
+        near = min(range(8), key=mesh.hop_distance)
+        far = max(range(8), key=mesh.hop_distance)
+        assert mesh.hop_distance(far) > mesh.hop_distance(near)
+
+        def delivery_cycle(port):
+            m = MeshNetwork(num_ports=8)
+            m.inject(port, make_txn(port))
+            for cycle in range(200):
+                m.tick(cycle)
+                if m.pop_arrivals(cycle):
+                    return cycle
+            pytest.fail("never delivered")
+
+        assert delivery_cycle(far) > delivery_cycle(near)
+
+    def test_all_cores_deliver(self):
+        mesh = MeshNetwork(num_ports=8)
+        for port in range(8):
+            mesh.inject(port, make_txn(port))
+        arrived = run_until_delivered(mesh, 8)
+        assert len(arrived) == 8
+        assert {t.core_id for t in arrived} == set(range(8))
+
+    def test_dest_not_ready_blocks_ejection(self):
+        mesh = MeshNetwork(num_ports=2)
+        mesh.inject(0, make_txn(0))
+        for cycle in range(50):
+            mesh.tick(cycle, dest_ready=False)
+        assert mesh.pop_arrivals(50) == []
+        assert mesh.in_flight_count == 1
+        for cycle in range(50, 100):
+            mesh.tick(cycle, dest_ready=True)
+        assert len(run_until_delivered(mesh, 1, 1)) <= 1  # already popped?
+
+    def test_grant_trace_records_ejections(self):
+        mesh = MeshNetwork(num_ports=2)
+        mesh.inject(1, make_txn(1))
+        run_until_delivered(mesh, 1)
+        assert mesh.total_grants == 1
+        assert mesh.grant_trace[0][1] == 1
+
+
+class TestDeliveryFromHub:
+    def test_response_routed_to_core(self):
+        mesh = MeshNetwork(num_ports=4, direction="from_hub")
+        txn = make_txn(core=2)
+        mesh.inject(2, txn)
+        arrived = run_until_delivered(mesh, 1)
+        assert arrived == [txn]
+
+    def test_multiple_cores_fanout(self):
+        mesh = MeshNetwork(num_ports=4, direction="from_hub")
+        for core in range(4):
+            mesh.inject(core, make_txn(core))
+        arrived = run_until_delivered(mesh, 4)
+        assert {t.core_id for t in arrived} == set(range(4))
+
+
+class TestBackpressure:
+    def test_port_capacity(self):
+        mesh = MeshNetwork(num_ports=2, port_capacity=2)
+        mesh.inject(0, make_txn())
+        mesh.inject(0, make_txn())
+        assert not mesh.can_inject(0)
+        with pytest.raises(ProtocolError):
+            mesh.inject(0, make_txn())
+
+    def test_hub_stall_fills_buffers_not_crashes(self):
+        mesh = MeshNetwork(num_ports=4, port_capacity=8)
+        for cycle in range(100):
+            for port in range(4):
+                if mesh.can_inject(port):
+                    mesh.inject(port, make_txn(port))
+            mesh.tick(cycle, dest_ready=False)
+        assert mesh.pop_arrivals(100) == []
+        assert mesh.in_flight_count > 0
+
+
+class TestConservation:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                 max_size=40)
+    )
+    def test_every_injection_delivered_once(self, ports):
+        mesh = MeshNetwork(num_ports=8, port_capacity=64)
+        sent = []
+        for port in ports:
+            txn = make_txn(port)
+            mesh.inject(port, txn)
+            sent.append(txn)
+        arrived = run_until_delivered(mesh, len(sent), max_cycles=2000)
+        assert len(arrived) == len(sent)
+        assert {t.txn_id for t in arrived} == {t.txn_id for t in sent}
+        assert mesh.in_flight_count == 0
+
+
+class TestSystemIntegration:
+    def test_full_system_on_mesh(self):
+        from repro.sim.system import SystemBuilder
+        from repro.workloads.spec import make_trace
+
+        builder = SystemBuilder(seed=4).with_noc(topology="mesh")
+        for i in range(4):
+            builder.add_core(
+                make_trace("gcc", 400, seed=i, base_address=i << 33)
+            )
+        system = builder.build()
+        report = system.run(30000)
+        assert all(c.retired_instructions > 0 for c in report.cores)
+        assert all(
+            system.delivered_count(c) == report.core(c).demand_requests
+            for c in range(4)
+            if system.cores[c].done
+        )
+
+    def test_mesh_position_affects_latency(self):
+        """Cores far from the hub see higher memory latency — the
+        position-dependent contention the mesh exists to model."""
+        from repro.sim.system import SystemBuilder
+        from repro.workloads.spec import make_trace
+
+        builder = SystemBuilder(seed=4).with_noc(topology="mesh")
+        for i in range(8):
+            builder.add_core(
+                make_trace("gcc", 400, seed=7, base_address=i << 33)
+            )
+        system = builder.build()
+        report = system.run(40000, stop_when_done=False)
+        near = min(range(8), key=system.request_link.hop_distance)
+        far = max(range(8), key=system.request_link.hop_distance)
+        assert (
+            report.core(far).mean_memory_latency()
+            > report.core(near).mean_memory_latency()
+        )
+
+    def test_rejects_unknown_topology(self):
+        from repro.sim.system import SystemBuilder
+
+        with pytest.raises(ConfigurationError):
+            SystemBuilder().with_noc(topology="torus")

@@ -1,0 +1,117 @@
+"""Tests for auto-precharge (RDA/WRA) and the closed-page policy."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.dram.address import AddressMapping
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import CommandType, DramCommand
+from repro.dram.system import DramSystem
+from repro.dram.timing import DramTiming
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.sim.system import SystemBuilder
+from repro.workloads.spec import make_trace
+
+
+class TestAutoPrecharge:
+    def test_rda_closes_bank(self, timing):
+        bank = Bank(timing)
+        bank.activate(0, row=5)
+        bank.read(timing.tRCD, row=5, auto_precharge=True)
+        assert bank.state is BankState.PRECHARGED
+        assert bank.open_row is None
+        assert bank.precharge_count == 1
+
+    def test_rda_next_activate_timing(self, timing):
+        """ACT after RDA must wait tRTP + tRP past the read (and tRC)."""
+        bank = Bank(timing)
+        bank.activate(0, row=5)
+        read_cycle = timing.tRCD
+        bank.read(read_cycle, row=5, auto_precharge=True)
+        # tRAS dominates here: close time = max(read+tRTP, tRAS).
+        close = max(read_cycle + timing.tRTP, timing.tRAS)
+        earliest = max(close + timing.tRP, timing.tRC)
+        assert bank.earliest_activate() == earliest
+        assert not bank.can_activate(earliest - 1)
+        bank.activate(earliest, row=9)
+
+    def test_wra_honours_write_recovery(self, timing):
+        bank = Bank(timing)
+        bank.activate(0, row=5)
+        write_cycle = timing.tRCD
+        bank.write(write_cycle, row=5, auto_precharge=True)
+        assert bank.state is BankState.PRECHARGED
+        recovery = write_cycle + timing.tCWL + timing.tBURST + timing.tWR
+        close = max(recovery, timing.tRAS)
+        assert bank.earliest_activate() >= close + timing.tRP
+
+    def test_plain_read_leaves_row_open(self, timing):
+        bank = Bank(timing)
+        bank.activate(0, row=5)
+        bank.read(timing.tRCD, row=5)
+        assert bank.state is BankState.ACTIVE
+
+
+class TestClosedPageController:
+    def make_controller(self, page_policy):
+        dram = DramSystem(enable_refresh=False)
+        return MemoryController(dram, page_policy=page_policy)
+
+    def run(self, mc, txns, cycles=400):
+        for txn in txns:
+            mc.enqueue(txn, 0)
+        for cycle in range(cycles):
+            mc.tick(cycle)
+
+    def make_txn(self, address):
+        return MemoryTransaction(core_id=0, address=address,
+                                 kind=TransactionType.READ, created_cycle=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            self.make_controller("half-open")
+
+    def test_closed_page_never_row_hits(self):
+        mc = self.make_controller("closed")
+        txns = [self.make_txn(i * 64) for i in range(6)]  # same row!
+        self.run(mc, txns)
+        assert all(t.data_ready_cycle is not None for t in txns)
+        assert mc.row_hits == 0
+        assert mc.row_misses == 6
+
+    def test_open_page_hits_same_row(self):
+        mc = self.make_controller("open")
+        txns = [self.make_txn(i * 64) for i in range(6)]
+        self.run(mc, txns)
+        assert mc.row_hits == 5  # all but the first
+
+    def test_closed_page_slower_for_row_local_streams(self):
+        def finish_time(policy):
+            mc = self.make_controller(policy)
+            txns = [self.make_txn(i * 64) for i in range(12)]
+            self.run(mc, txns, cycles=1500)
+            return max(t.data_ready_cycle for t in txns)
+
+        assert finish_time("closed") > finish_time("open")
+
+
+class TestClosedPageSystem:
+    def test_system_runs_closed_page(self):
+        builder = SystemBuilder(seed=2).with_page_policy("closed")
+        builder.add_core(make_trace("libquantum", 500))
+        report = builder.build().run(20_000, stop_when_done=False)
+        assert report.core(0).retired_instructions > 0
+        assert report.row_hits == 0
+
+    def test_builder_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            SystemBuilder().with_page_policy("ajar")
+
+    def test_builder_write_queue(self):
+        builder = SystemBuilder(seed=2).with_write_queue()
+        builder.add_core(make_trace("bzip", 400))
+        system = builder.build()
+        assert system.controller.write_queue is not None
+        report = system.run(15_000, stop_when_done=False)
+        assert report.core(0).retired_instructions > 0

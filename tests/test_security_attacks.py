@@ -1,0 +1,156 @@
+"""Unit tests for attack implementations and leakage analysis."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.distribution import InterArrivalHistogram
+from repro.security.attacks import (
+    bit_error_rate,
+    corunner_distinguishability,
+    decode_covert_key,
+)
+from repro.security.leakage import (
+    accumulated_response_difference,
+    max_abs_drift,
+    normalized_drift,
+    response_rate_series,
+)
+from repro.sim.stats import CoreStats
+
+
+class TestCovertDecoder:
+    def test_perfect_on_off_signal(self):
+        pulse = 100
+        bits = [1, 0, 1, 1, 0]
+        events = []
+        for i, b in enumerate(bits):
+            if b:
+                events.extend(range(i * pulse, (i + 1) * pulse, 5))
+        assert decode_covert_key(events, pulse, len(bits)) == bits
+
+    def test_constant_traffic_decodes_badly(self):
+        """A flat (shaped) stream gives the decoder nothing to key on."""
+        pulse = 100
+        bits = [1, 0, 1, 0]
+        events = list(range(0, 400, 7))  # constant rate, no structure
+        decoded = decode_covert_key(events, pulse, len(bits))
+        assert bit_error_rate(decoded, bits) >= 0.25
+
+    def test_noise_tolerance(self):
+        pulse = 100
+        bits = [1, 0, 0, 1]
+        events = []
+        for i, b in enumerate(bits):
+            step = 4 if b else 40  # 10x contrast with some noise traffic
+            events.extend(range(i * pulse, (i + 1) * pulse, step))
+        assert decode_covert_key(events, pulse, len(bits)) == bits
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigurationError):
+            decode_covert_key([], 100, 0)
+
+
+class TestBitErrorRate:
+    def test_perfect(self):
+        assert bit_error_rate([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_all_wrong(self):
+        assert bit_error_rate([0, 1], [1, 0]) == 1.0
+
+    def test_half(self):
+        assert bit_error_rate([1, 1], [1, 0]) == 0.5
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            bit_error_rate([1], [1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bit_error_rate([], [])
+
+
+class TestDistinguishability:
+    def test_identical_distributions_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(100, 10, 2000)
+        b = rng.normal(100, 10, 2000)
+        assert corunner_distinguishability(a, b) < 0.1
+
+    def test_shifted_distributions_large(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(100, 10, 2000)
+        b = rng.normal(200, 10, 2000)
+        assert corunner_distinguishability(a, b) > 5.0
+
+    def test_identical_constants_zero(self):
+        assert corunner_distinguishability([5, 5], [5, 5]) == 0.0
+
+    def test_different_constants_infinite(self):
+        assert corunner_distinguishability([5, 5], [9, 9]) == float("inf")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            corunner_distinguishability([], [1.0])
+
+
+def make_stats(response_times):
+    return CoreStats(
+        core_id=0, trace_name="t", cycles=1000, retired_instructions=100,
+        finish_cycle=None, demand_requests=len(response_times),
+        writeback_requests=0, fake_requests_sent=0, fake_responses_sent=0,
+        memory_stall_cycles=0, llc_misses=0, llc_accesses=0,
+        request_intrinsic=InterArrivalHistogram(),
+        request_shaped=InterArrivalHistogram(),
+        response_intrinsic=InterArrivalHistogram(),
+        response_shaped=InterArrivalHistogram(),
+        memory_latencies=[lat for _, lat in response_times],
+        response_times=list(response_times),
+    )
+
+
+class TestLeakageCurves:
+    def test_identical_runs_flat(self):
+        a = make_stats([(10, 50), (20, 60), (30, 40)])
+        b = make_stats([(10, 50), (20, 60), (30, 40)])
+        diff = accumulated_response_difference(a, b)
+        assert np.all(diff == 0)
+
+    def test_slower_corunner_grows(self):
+        fast = make_stats([(10, 50), (20, 50), (30, 50)])
+        slow = make_stats([(10, 80), (20, 80), (30, 80)])
+        diff = accumulated_response_difference(slow, fast)
+        assert list(diff) == [30, 60, 90]  # monotone growth
+
+    def test_truncates_to_shorter(self):
+        a = make_stats([(10, 50), (20, 50)])
+        b = make_stats([(10, 50), (20, 50), (30, 50)])
+        assert accumulated_response_difference(a, b).size == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            accumulated_response_difference(make_stats([]), make_stats([]))
+
+    def test_max_abs_drift(self):
+        assert max_abs_drift(np.array([1, -5, 3])) == 5.0
+        assert max_abs_drift(np.zeros(0)) == 0.0
+
+    def test_normalized_drift(self):
+        curve = np.array([10.0, 20.0, 50.0])
+        assert normalized_drift(curve, baseline_total=500.0) == pytest.approx(
+            0.1
+        )
+        with pytest.raises(ConfigurationError):
+            normalized_drift(curve, baseline_total=0.0)
+
+
+class TestResponseRateSeries:
+    def test_counts_per_window(self):
+        series = response_rate_series(
+            [(5, 10), (15, 10), (18, 10), (25, 10)], 10, 30
+        )
+        assert list(series) == [1, 2, 1]
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ConfigurationError):
+            response_rate_series([], 0, 100)

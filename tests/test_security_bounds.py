@@ -1,0 +1,81 @@
+"""Tests for the analytical leakage bounds (paper IV-B3/IV-B4)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.bins import BinConfiguration
+from repro.security.bounds import (
+    bdc_leakage_bound,
+    epoch_rate_leakage_bound,
+    leakage_per_second,
+    replenishment_window_leakage_bound,
+)
+
+
+class TestWindowBound:
+    def test_equals_credit_total(self):
+        config = BinConfiguration((3, 0, 2, 1))
+        assert replenishment_window_leakage_bound(config) == 6
+
+    def test_single_credit(self):
+        assert replenishment_window_leakage_bound(BinConfiguration((1,))) == 1
+
+
+class TestEpochBound:
+    def test_formula(self):
+        assert epoch_rate_leakage_bound(10, 4) == pytest.approx(20.0)
+
+    def test_single_rate_leaks_nothing(self):
+        assert epoch_rate_leakage_bound(100, 1) == 0.0
+
+    def test_zero_epochs(self):
+        assert epoch_rate_leakage_bound(0, 8) == 0.0
+
+    def test_rejects_negative_epochs(self):
+        with pytest.raises(ConfigurationError):
+            epoch_rate_leakage_bound(-1, 4)
+
+    def test_rejects_empty_rate_set(self):
+        with pytest.raises(ConfigurationError):
+            epoch_rate_leakage_bound(5, 0)
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=64))
+    def test_monotone_in_both_arguments(self, epochs, rates):
+        base = epoch_rate_leakage_bound(epochs, rates)
+        assert epoch_rate_leakage_bound(epochs + 1, rates) >= base
+        assert epoch_rate_leakage_bound(epochs, rates + 1) >= base
+
+
+class TestBdcBound:
+    def test_takes_minimum(self):
+        assert bdc_leakage_bound(0.5, 0.2) == 0.2
+        assert bdc_leakage_bound(0.1, 0.9) == 0.1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            bdc_leakage_bound(-0.1, 0.5)
+
+    @given(st.floats(min_value=0, max_value=10),
+           st.floats(min_value=0, max_value=10))
+    def test_never_exceeds_either_stage(self, a, b):
+        bound = bdc_leakage_bound(a, b)
+        assert bound <= a and bound <= b
+
+
+class TestLeakagePerSecond:
+    def test_conversion(self):
+        # 1 bit per 2400-cycle window at 2.4 GHz = 1M bits/s.
+        assert leakage_per_second(1.0, 2400, clock_hz=2.4e9) == pytest.approx(
+            1e6
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            leakage_per_second(1.0, 0)
+        with pytest.raises(ConfigurationError):
+            leakage_per_second(1.0, 100, clock_hz=0)

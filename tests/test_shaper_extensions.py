@@ -1,0 +1,184 @@
+"""Tests for shaper extensions: strict binning and timing jitter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.common.rng import DeterministicRng
+from repro.core.bins import BinConfiguration, BinSpec
+from repro.core.shaper import BinShaper
+
+
+SPEC = BinSpec(edges=(1, 2, 4, 8), replenish_period=32)
+
+
+class TestStrictBinning:
+    def test_exact_bin_required(self):
+        """Delta in bin 2 with only bin-0 credits must wait in strict
+        mode (default mode would release immediately)."""
+        config = BinConfiguration((2, 0, 0, 0))
+        loose = BinShaper(SPEC, config)
+        strict = BinShaper(SPEC, config, strict=True)
+        # Delta 4 → bin 2; bin 0 credited.
+        assert loose.can_release_real(4)
+        assert not strict.can_release_real(4)
+
+    def test_exact_bin_releases(self):
+        strict = BinShaper(SPEC, BinConfiguration((0, 0, 2, 0)), strict=True)
+        assert not strict.can_release_real(2)
+        assert strict.can_release_real(4)
+        assert strict.release_real(5) == 2
+
+    def test_top_bin_fallback_prevents_deadlock(self):
+        """Delta past the top edge may consume any credited bin."""
+        strict = BinShaper(SPEC, BinConfiguration((1, 0, 0, 0)), strict=True)
+        # Delta 20 → top bin (edge 8), empty; fallback to bin 0.
+        assert strict.can_release_real(20)
+        assert strict.release_real(20) == 0
+
+    def test_strict_consumption_matches_observation(self):
+        """Consumed bin == the bin the observed gap falls into."""
+        strict = BinShaper(SPEC, BinConfiguration((2, 2, 2, 2)), strict=True)
+        last = 0
+        for gap in (1, 2, 4, 8):
+            cycle = last + gap
+            consumed = strict.release_real(cycle)
+            assert consumed == SPEC.bin_of(gap)
+            last = cycle
+
+    def test_earliest_release_strict(self):
+        strict = BinShaper(SPEC, BinConfiguration((0, 0, 2, 0)), strict=True)
+        assert strict.earliest_real_release(1) == 4
+
+    def test_earliest_release_fallback_case(self):
+        """Only already-passed bins credited: fallback at the top edge."""
+        strict = BinShaper(SPEC, BinConfiguration((2, 0, 0, 0)), strict=True)
+        # Delta 4: bin 0 passed (strict: ineligible), nothing ahead
+        # except the top-bin fallback at edge 8.
+        assert strict.earliest_real_release(4) == 8
+
+
+class TestJitter:
+    def make(self, seed=9):
+        return BinShaper(
+            SPEC, BinConfiguration((4, 4, 4, 4)),
+            jitter_rng=DeterministicRng(seed),
+        )
+
+    def test_jitter_delays_release(self):
+        """Across seeds, some releases must be held past eligibility."""
+        held = 0
+        for seed in range(12):
+            shaper = BinShaper(
+                SPEC, BinConfiguration((0, 0, 0, 4)),
+                jitter_rng=DeterministicRng(seed),
+            )
+            if not shaper.can_release_real(8):  # eligible, maybe held
+                held += 1
+        assert held > 0
+
+    def test_release_after_hold_expires(self):
+        shaper = self.make()
+        cycle = 8
+        while not shaper.can_release_real(cycle):
+            cycle += 1
+            assert cycle < 40, "jitter hold never expired"
+        shaper.release_real(cycle)
+
+    def test_release_before_hold_raises(self):
+        for seed in range(20):
+            shaper = BinShaper(
+                SPEC, BinConfiguration((0, 0, 0, 4)),
+                jitter_rng=DeterministicRng(seed),
+            )
+            if not shaper.can_release_real(8):
+                with pytest.raises(ProtocolError):
+                    shaper.release_real(8)
+                return
+        pytest.skip("no seed produced a hold (extremely unlikely)")
+
+    def test_hold_rearmed_after_release(self):
+        shaper = self.make(seed=3)
+        cycle = 1
+        releases = []
+        while len(releases) < 4 and cycle < 200:
+            shaper.replenish_if_due(cycle)
+            if shaper.can_release_real(cycle):
+                shaper.release_real(cycle)
+                releases.append(cycle)
+            cycle += 1
+        assert len(releases) == 4
+
+    def test_jitter_randomizes_timing(self):
+        """Two seeds produce different release schedules."""
+
+        def schedule(seed):
+            shaper = BinShaper(
+                SPEC, BinConfiguration((2, 2, 2, 2)),
+                jitter_rng=DeterministicRng(seed),
+            )
+            out, cycle = [], 1
+            while len(out) < 6 and cycle < 200:
+                shaper.replenish_if_due(cycle)
+                if shaper.can_release_real(cycle):
+                    shaper.release_real(cycle)
+                    out.append(cycle)
+                cycle += 1
+            return out
+
+        assert schedule(1) != schedule(2)
+
+    def test_no_jitter_without_rng(self):
+        shaper = BinShaper(SPEC, BinConfiguration((4, 4, 4, 4)))
+        # Deterministic: eligible the moment a credited edge is reached.
+        assert shaper.can_release_real(1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_credit_accounting_unchanged_by_jitter(self, seed):
+        """Jitter shifts timing but never creates or destroys credits."""
+        shaper = BinShaper(
+            SPEC, BinConfiguration((2, 2, 2, 2)),
+            jitter_rng=DeterministicRng(seed),
+        )
+        releases = 0
+        for cycle in range(1, 33):
+            if shaper.can_release_real(cycle):
+                shaper.release_real(cycle)
+                releases += 1
+        assert releases <= 8
+        assert sum(shaper.credits_remaining()) == 8 - releases
+
+
+class TestJitterInSystem:
+    def test_system_with_jitter_runs(self):
+        from repro.sim import RequestShapingPlan, SystemBuilder
+        from repro.workloads import make_trace
+
+        builder = SystemBuilder(seed=11)
+        builder.add_core(
+            make_trace("gcc", 800),
+            request_shaping=RequestShapingPlan(
+                config=BinConfiguration((4,) * 10), jitter=True
+            ),
+        )
+        report = builder.build().run(15000, stop_when_done=False)
+        assert report.core(0).retired_instructions > 0
+
+    def test_jitter_changes_release_schedule(self):
+        from repro.sim import RequestShapingPlan, SystemBuilder
+        from repro.workloads import make_trace
+
+        def gaps(jitter):
+            builder = SystemBuilder(seed=11)
+            builder.add_core(
+                make_trace("gcc", 800),
+                request_shaping=RequestShapingPlan(
+                    config=BinConfiguration((4,) * 10), jitter=jitter
+                ),
+            )
+            report = builder.build().run(15000, stop_when_done=False)
+            return report.core(0).request_shaped.gaps
+
+        assert gaps(True) != gaps(False)

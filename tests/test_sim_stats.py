@@ -1,0 +1,117 @@
+"""Unit tests for statistics containers (CoreStats / SystemReport)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import InterArrivalHistogram
+from repro.sim.stats import CoreStats, SystemReport
+
+
+def make_stats(core_id=0, cycles=1000, retired=2000, latencies=(50, 60, 70),
+               stall=100, response_times=None):
+    latencies = list(latencies)
+    if response_times is None:
+        response_times = [(100 + 10 * i, lat) for i, lat in enumerate(latencies)]
+    return CoreStats(
+        core_id=core_id, trace_name="t", cycles=cycles,
+        retired_instructions=retired, finish_cycle=None,
+        demand_requests=len(latencies), writeback_requests=0,
+        fake_requests_sent=5, fake_responses_sent=2,
+        memory_stall_cycles=stall, llc_misses=10, llc_accesses=100,
+        request_intrinsic=InterArrivalHistogram(),
+        request_shaped=InterArrivalHistogram(),
+        response_intrinsic=InterArrivalHistogram(),
+        response_shaped=InterArrivalHistogram(),
+        memory_latencies=latencies,
+        response_times=response_times,
+    )
+
+
+def make_report(stats_list):
+    return SystemReport(
+        cycles_run=1000, cores=stats_list, row_hits=80, row_misses=20,
+        refreshes=1, request_link_grants=50, response_link_grants=50,
+        scheduler_name="fr-fcfs",
+    )
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        assert make_stats(cycles=1000, retired=2000).ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert make_stats(cycles=0, retired=0).ipc == 0.0
+
+    def test_stall_fraction(self):
+        assert make_stats(cycles=1000, stall=250).memory_stall_fraction == 0.25
+
+    def test_mean_latency(self):
+        assert make_stats(latencies=(40, 60)).mean_memory_latency() == 50.0
+
+    def test_mean_latency_empty(self):
+        assert make_stats(latencies=()).mean_memory_latency() == 0.0
+
+    def test_latency_percentile(self):
+        stats = make_stats(latencies=tuple(range(1, 101)))
+        assert stats.latency_percentile(50) == pytest.approx(50.5)
+
+    def test_accumulated_response_time_monotone(self):
+        acc = make_stats(latencies=(10, 20, 30)).accumulated_response_time()
+        assert list(acc) == [10, 30, 60]
+
+    def test_accumulated_orders_by_delivery(self):
+        stats = make_stats(
+            latencies=(10, 20),
+            response_times=[(200, 20), (100, 10)],  # out of order
+        )
+        assert list(stats.accumulated_response_time()) == [10, 30]
+
+    def test_accumulated_empty(self):
+        stats = make_stats(latencies=(), response_times=[])
+        assert stats.accumulated_response_time().size == 0
+
+
+class TestSystemReport:
+    def test_total_throughput(self):
+        report = make_report([
+            make_stats(core_id=0, retired=1000),
+            make_stats(core_id=1, retired=3000),
+        ])
+        assert report.total_throughput() == pytest.approx(4.0)
+
+    def test_weighted_speedup(self):
+        report = make_report([make_stats(retired=1000)])  # IPC 1.0
+        assert report.weighted_speedup_vs([2.0]) == pytest.approx(0.5)
+
+    def test_weighted_speedup_rejects_mismatch(self):
+        report = make_report([make_stats()])
+        with pytest.raises(ValueError):
+            report.weighted_speedup_vs([1.0, 2.0])
+
+    def test_average_slowdown(self):
+        report = make_report([
+            make_stats(core_id=0, retired=1000),   # IPC 1 → slowdown 2
+            make_stats(core_id=1, retired=2000),   # IPC 2 → slowdown 1
+        ])
+        assert report.average_slowdown_vs([2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_average_slowdown_skips_dead_cores(self):
+        report = make_report([
+            make_stats(core_id=0, retired=0, cycles=100),  # IPC 0
+            make_stats(core_id=1, retired=100, cycles=100),
+        ])
+        assert np.isfinite(report.average_slowdown_vs([1.0, 1.0]))
+
+    def test_row_hit_rate(self):
+        assert make_report([make_stats()]).row_hit_rate() == pytest.approx(0.8)
+
+    def test_summary_lines(self):
+        lines = make_report([make_stats()]).summary_lines()
+        assert len(lines) == 2
+        assert "fr-fcfs" in lines[0]
+        assert "core0" in lines[1]
+
+    def test_core_accessor(self):
+        report = make_report([make_stats(core_id=0), make_stats(core_id=1)])
+        assert report.core(1).core_id == 1
+        assert report.num_cores == 2

@@ -1,0 +1,249 @@
+"""Integration tests for the full-system simulator."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.core.bins import BinConfiguration, BinSpec, constant_rate_config
+from repro.cpu.trace import MemoryTrace, TraceRecord
+from repro.memctrl.schedulers import (
+    FixedServiceScheduler,
+    PriorityFrFcfsScheduler,
+    TemporalPartitioningScheduler,
+)
+from repro.sim.system import (
+    RequestShapingPlan,
+    ResponseShapingPlan,
+    SystemBuilder,
+)
+from repro.workloads.spec import make_trace
+
+
+def simple_trace(n=50, stride=64 * 128, gap=10):
+    """n accesses striding across rows (mostly misses)."""
+    return MemoryTrace(
+        [TraceRecord(gap, 0x100000 + i * stride) for i in range(n)],
+        name="simple",
+    )
+
+
+class TestBuilder:
+    def test_requires_a_core(self):
+        with pytest.raises(ConfigurationError):
+            SystemBuilder().build()
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ConfigurationError):
+            SystemBuilder().with_scheduler("lottery")
+
+    def test_scheduler_kinds(self):
+        for kind, cls in (
+            ("tp", TemporalPartitioningScheduler),
+            ("fs", FixedServiceScheduler),
+            ("priority", PriorityFrFcfsScheduler),
+        ):
+            b = SystemBuilder().with_scheduler(kind)
+            b.add_core(simple_trace())
+            b.add_core(simple_trace())
+            assert isinstance(b.build().scheduler, cls)
+
+    def test_response_warning_upgrades_scheduler(self):
+        """RespC warnings need a priority scheduler; frfcfs upgrades."""
+        b = SystemBuilder()
+        b.add_core(
+            simple_trace(),
+            response_shaping=ResponseShapingPlan(
+                config=BinConfiguration((2,) * 10)
+            ),
+        )
+        system = b.build()
+        assert isinstance(system.scheduler, PriorityFrFcfsScheduler)
+
+    def test_bank_partitioning_caps_cores(self):
+        b = SystemBuilder().with_bank_partitioning()
+        for _ in range(9):  # more cores than banks
+            b.add_core(simple_trace())
+        with pytest.raises(ConfigurationError):
+            b.build()
+
+    def test_run_rejects_non_positive_cycles(self):
+        b = SystemBuilder()
+        b.add_core(simple_trace())
+        with pytest.raises(SimulationError):
+            b.build().run(0)
+
+
+class TestUnshapedRun:
+    def test_single_core_completes(self):
+        b = SystemBuilder()
+        b.add_core(simple_trace(30))
+        system = b.build()
+        report = system.run(20000)
+        stats = report.core(0)
+        assert system.all_cores_done()
+        assert stats.finish_cycle is not None
+        assert stats.demand_requests == 30
+        assert len(stats.memory_latencies) == 30
+
+    def test_conservation_every_request_answered(self):
+        """No transaction is lost or duplicated end to end."""
+        b = SystemBuilder()
+        b.add_core(simple_trace(40))
+        b.add_core(simple_trace(40))
+        system = b.build()
+        system.run(40000)
+        assert system.all_cores_done()
+        for core_id in (0, 1):
+            assert system.delivered_count(core_id) == 40
+
+    def test_latencies_exceed_floor(self):
+        """End-to-end latency >= NoC + DRAM minimum."""
+        b = SystemBuilder()
+        b.add_core(simple_trace(10))
+        system = b.build()
+        report = system.run(20000)
+        timing = system.controller.dram.timing
+        floor = 2 * system.request_link.latency + timing.row_hit_latency()
+        assert all(lat >= floor for lat in report.core(0).memory_latencies)
+
+    def test_contention_slows_corunners(self):
+        """An intense co-runner increases a victim's latency — the raw
+        timing channel (paper Figure 1)."""
+        alone = SystemBuilder()
+        alone.add_core(make_trace("gcc", 800, seed=1))
+        lat_alone = alone.build().run(60000).core(0).mean_memory_latency()
+
+        shared = SystemBuilder()
+        shared.add_core(make_trace("gcc", 800, seed=1))
+        for i in range(3):
+            shared.add_core(
+                make_trace("mcf", 3000, seed=2 + i, base_address=(i + 1) << 33)
+            )
+        lat_shared = shared.build().run(60000).core(0).mean_memory_latency()
+        assert lat_shared > lat_alone * 1.1
+
+    def test_report_totals(self):
+        b = SystemBuilder()
+        b.add_core(simple_trace(20))
+        report = b.build().run(20000)
+        assert report.scheduler_name == "fr-fcfs"
+        assert report.request_link_grants >= 20
+        assert report.total_throughput() > 0
+
+    def test_run_continues_across_calls(self):
+        b = SystemBuilder()
+        b.add_core(make_trace("mcf", 2000))
+        system = b.build()
+        system.run(1000, stop_when_done=False)
+        assert system.current_cycle == 1000
+        system.run(500, stop_when_done=False)
+        assert system.current_cycle == 1500
+
+
+class TestShapedRuns:
+    def test_request_shaping_caps_rate(self):
+        """CS config: released requests never exceed the budget."""
+        spec = BinSpec()
+        config = constant_rate_config(spec, 64)
+        b = SystemBuilder()
+        b.add_core(
+            make_trace("mcf", 4000),
+            request_shaping=RequestShapingPlan(
+                config=config, spec=spec, generate_fake=False
+            ),
+        )
+        system = b.build()
+        system.run(20000, stop_when_done=False)
+        path = system.request_paths[0]
+        budget = (20000 / 64) * 1.05  # 5% slack for boundary effects
+        assert path.real_sent + path.fake_sent <= budget
+
+    def test_shaped_distribution_matches_target(self):
+        """The Figure 11 property as an integration test."""
+        desired = BinConfiguration((10, 9, 8, 7, 6, 5, 4, 3, 2, 1))
+        spec = BinSpec()
+        b = SystemBuilder()
+        b.add_core(
+            make_trace("gcc", 2000),
+            request_shaping=RequestShapingPlan(config=desired, spec=spec),
+        )
+        system = b.build()
+        report = system.run(40000, stop_when_done=False)
+        shaped = report.core(0).request_shaped
+        assert shaped.matches_target(desired.normalized(), tolerance=0.08)
+
+    def test_fake_traffic_reaches_dram(self):
+        """Fake requests are serviced by real banks (indistinguishable
+        on the wire)."""
+        spec = BinSpec()
+        config = BinConfiguration((4,) * 10)
+        b = SystemBuilder()
+        b.add_core(
+            make_trace("sjeng", 200),
+            request_shaping=RequestShapingPlan(config=config, spec=spec),
+        )
+        system = b.build()
+        report = system.run(30000, stop_when_done=False)
+        assert report.core(0).fake_requests_sent > 0
+        reads = system.controller.issued_reads
+        assert reads >= report.core(0).fake_requests_sent
+
+    def test_response_shaping_throttles(self):
+        spec = BinSpec()
+        slow = BinConfiguration((0,) * 9 + (3,))  # ~3 responses/period
+        b = SystemBuilder()
+        b.add_core(
+            make_trace("mcf", 2000),
+            response_shaping=ResponseShapingPlan(
+                config=slow, spec=spec, generate_fake=False
+            ),
+        )
+        system = b.build()
+        system.run(20000, stop_when_done=False)
+        # ~3 per 2048 cycles → at most ~35 delivered in 20k cycles.
+        assert system.delivered_count(0) <= 40
+
+    def test_fake_responses_emitted_for_idle_core(self):
+        spec = BinSpec()
+        b = SystemBuilder()
+        b.add_core(
+            make_trace("sjeng", 100),
+            response_shaping=ResponseShapingPlan(
+                config=BinConfiguration((2,) * 10), spec=spec
+            ),
+        )
+        system = b.build()
+        report = system.run(30000, stop_when_done=False)
+        assert report.core(0).fake_responses_sent > 0
+
+    def test_tp_lowers_throughput_vs_frfcfs(self):
+        """Temporal partitioning costs performance — the paper's
+        motivation for Camouflage."""
+
+        def run(scheduler_kind):
+            b = SystemBuilder()
+            if scheduler_kind == "tp":
+                b.with_scheduler("tp", turn_length=128)
+            for i in range(4):
+                b.add_core(
+                    make_trace("mcf", 3000, seed=i, base_address=i << 33)
+                )
+            return b.build().run(20000, stop_when_done=False)
+
+        assert run("tp").total_throughput() < run("frfcfs").total_throughput()
+
+    def test_bank_partitioning_isolates_banks(self):
+        b = SystemBuilder().with_scheduler("fs", interval=24)
+        b.with_bank_partitioning()
+        for i in range(4):
+            b.add_core(make_trace("gcc", 500, seed=i, base_address=i << 33))
+        system = b.build()
+        system.run(20000, stop_when_done=False)
+        # Collect banks touched per core from the controller mapping.
+        mapping = system.controller._per_core_mapping
+        banks = [
+            {mapping[c].decode(a).bank for a in range(0, 1 << 20, 8192)}
+            for c in range(4)
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert banks[i].isdisjoint(banks[j])

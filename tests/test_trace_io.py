@@ -1,0 +1,108 @@
+"""Tests for trace file persistence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.trace import MemoryTrace, TraceRecord
+from repro.cpu.trace_io import load_trace, save_trace, trace_to_string
+from repro.workloads.spec import make_trace
+
+
+def sample_trace():
+    return MemoryTrace(
+        [
+            TraceRecord(12, 0x7F3A40, is_write=False),
+            TraceRecord(0, 0x7F3A80, is_write=True),
+            TraceRecord(500, 0x100, is_write=False),
+        ],
+        name="sample",
+    )
+
+
+class TestRoundTrip:
+    def test_plain_file(self, tmp_path):
+        original = sample_trace()
+        path = tmp_path / "t.trace"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.name == "sample"
+        assert loaded.records == original.records
+
+    def test_gzip_file(self, tmp_path):
+        original = sample_trace()
+        path = tmp_path / "t.trace.gz"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.records == original.records
+        # Verify it actually compressed (gzip magic bytes).
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_generated_trace_round_trips(self, tmp_path):
+        original = make_trace("apache", 300, seed=9)
+        path = tmp_path / "apache.trace"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.records == original.records
+        assert loaded.name == "apache"
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.integers(min_value=0, max_value=(1 << 48) - 1),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_string_round_trip(self, raw):
+        import pathlib
+        import tempfile
+
+        records = [
+            TraceRecord(gap, address, is_write=w) for gap, address, w in raw
+        ]
+        original = MemoryTrace(records, name="prop")
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "prop.trace"
+            save_trace(original, path)
+            assert load_trace(path).records == original.records
+
+
+class TestFormat:
+    def test_string_serialization(self):
+        text = trace_to_string(sample_trace())
+        assert text.startswith("# repro-trace v1 name=sample")
+        assert "12 0x7f3a40 R" in text
+        assert "0 0x7f3a80 W" in text
+
+    def test_blank_lines_and_comments_ignored(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(
+            "# repro-trace v1 name=x\n\n# comment\n5 0x40 R\n"
+        )
+        loaded = load_trace(path)
+        assert len(loaded) == 1
+        assert loaded.name == "x"
+
+    def test_name_falls_back_to_stem(self, tmp_path):
+        path = tmp_path / "mystem.trace"
+        path.write_text("5 0x40 R\n")
+        assert load_trace(path).name == "mystem"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line",
+        ["5 0x40", "5 0x40 R extra", "x 0x40 R", "5 zz R", "5 0x40 Q"],
+    )
+    def test_malformed_lines_rejected_with_location(self, tmp_path, line):
+        path = tmp_path / "bad.trace"
+        path.write_text(line + "\n")
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_trace(path)
+        assert ":1:" in str(excinfo.value)

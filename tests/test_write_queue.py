@@ -1,0 +1,150 @@
+"""Tests for the optional write queue and its controller integration."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.dram.system import DramSystem
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.transaction import MemoryTransaction, TransactionType
+from repro.memctrl.write_queue import WriteQueue, WriteQueuePolicy
+
+
+def make_txn(write=True, core=0, address=0):
+    return MemoryTransaction(
+        core_id=core, address=address,
+        kind=TransactionType.WRITE if write else TransactionType.READ,
+        created_cycle=0,
+    )
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        WriteQueuePolicy()
+
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(ConfigurationError):
+            WriteQueuePolicy(capacity=8, high_watermark=2, low_watermark=4)
+
+    def test_rejects_high_above_capacity(self):
+        with pytest.raises(ConfigurationError):
+            WriteQueuePolicy(capacity=8, high_watermark=9, low_watermark=2)
+
+
+class TestWriteQueueUnit:
+    def test_accepts_only_writes(self):
+        wq = WriteQueue()
+        with pytest.raises(ProtocolError):
+            wq.push(make_txn(write=False))
+
+    def test_capacity(self):
+        wq = WriteQueue(WriteQueuePolicy(capacity=2, high_watermark=2,
+                                         low_watermark=0))
+        wq.push(make_txn())
+        wq.push(make_txn())
+        assert wq.is_full
+        with pytest.raises(ProtocolError):
+            wq.push(make_txn())
+
+    def test_hysteresis_enter_at_high(self):
+        wq = WriteQueue(WriteQueuePolicy(capacity=8, high_watermark=3,
+                                         low_watermark=1))
+        wq.push(make_txn())
+        wq.push(make_txn())
+        assert not wq.should_drain(reads_pending=True)
+        wq.push(make_txn())
+        assert wq.should_drain(reads_pending=True)
+
+    def test_hysteresis_exit_at_low(self):
+        wq = WriteQueue(WriteQueuePolicy(capacity=8, high_watermark=3,
+                                         low_watermark=1))
+        txns = [make_txn() for _ in range(3)]
+        for t in txns:
+            wq.push(t)
+        assert wq.should_drain(reads_pending=True)
+        wq.remove(txns[0])
+        assert wq.should_drain(reads_pending=True)  # still above low
+        wq.remove(txns[1])
+        assert not wq.should_drain(reads_pending=True)  # at low mark
+
+    def test_drains_on_idle_reads(self):
+        wq = WriteQueue(WriteQueuePolicy(capacity=8, high_watermark=6,
+                                         low_watermark=1))
+        wq.push(make_txn())
+        assert not wq.should_drain(reads_pending=True)
+        assert wq.should_drain(reads_pending=False)
+
+    def test_remove_missing_raises(self):
+        wq = WriteQueue()
+        with pytest.raises(ProtocolError):
+            wq.remove(make_txn())
+
+    def test_counters(self):
+        wq = WriteQueue()
+        t = make_txn()
+        wq.push(t)
+        wq.remove(t)
+        assert wq.accepted == 1 and wq.drained == 1
+
+
+class TestControllerIntegration:
+    def make_mc(self, **policy_kwargs):
+        dram = DramSystem(enable_refresh=False)
+        return MemoryController(
+            dram, write_queue_policy=WriteQueuePolicy(**policy_kwargs)
+        )
+
+    def test_writes_routed_to_write_queue(self):
+        mc = self.make_mc()
+        mc.enqueue(make_txn(write=True), 0)
+        mc.enqueue(make_txn(write=False, address=8192), 0)
+        assert len(mc.write_queue) == 1
+        assert len(mc.queue) == 1
+
+    def test_reads_prioritized_until_watermark(self):
+        """Writes park while reads flow; the read completes first."""
+        mc = self.make_mc(capacity=16, high_watermark=12, low_watermark=4)
+        write = make_txn(write=True, address=0)
+        read = make_txn(write=False, address=1 << 22)
+        mc.enqueue(write, 0)
+        mc.enqueue(read, 0)
+        for cycle in range(200):
+            mc.tick(cycle)
+        assert read.issue_cycle is not None
+        # The read issued strictly before the (idle-drained) write.
+        assert write.issue_cycle is None or read.issue_cycle < write.issue_cycle
+
+    def test_idle_drain_completes_writes(self):
+        mc = self.make_mc()
+        write = make_txn(write=True, address=0)
+        mc.enqueue(write, 0)
+        for cycle in range(200):
+            mc.tick(cycle)
+        assert write.data_ready_cycle is not None
+        assert mc.write_queue.drained == 1
+
+    def test_watermark_burst_drain(self):
+        """Crossing the high watermark drains writes even under reads."""
+        mc = self.make_mc(capacity=8, high_watermark=3, low_watermark=1)
+        writes = [make_txn(write=True, address=i * 8192) for i in range(3)]
+        cycle = 0
+        for w in writes:
+            mc.enqueue(w, cycle)
+        # Keep a read stream alive the whole time.
+        for cycle in range(1, 600):
+            if mc.can_accept() and cycle % 60 == 0:
+                mc.enqueue(make_txn(write=False, address=(1 << 22) + cycle * 64), cycle)
+            mc.tick(cycle)
+        assert mc.write_queue.drained >= 2  # drained down to the low mark
+
+    def test_backpressure_includes_write_queue(self):
+        mc = self.make_mc(capacity=2, high_watermark=2, low_watermark=0)
+        mc.enqueue(make_txn(write=True, address=0), 0)
+        mc.enqueue(make_txn(write=True, address=64), 0)
+        assert not mc.can_accept()
+
+    def test_default_controller_has_no_write_queue(self):
+        dram = DramSystem(enable_refresh=False)
+        mc = MemoryController(dram)
+        assert mc.write_queue is None
+        mc.enqueue(make_txn(write=True), 0)
+        assert len(mc.queue) == 1
