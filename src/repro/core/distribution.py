@@ -82,6 +82,25 @@ class InterArrivalHistogram:
 
     # -- comparisons -----------------------------------------------------------
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same spec and same recorded sample stream.
+
+        Without this, dataclasses that embed histograms (CoreStats,
+        SystemReport) would fall back to identity comparison and two
+        independently-built runs could never compare equal — which is
+        exactly what the engine-equivalence tests need to assert.
+        """
+        if not isinstance(other, InterArrivalHistogram):
+            return NotImplemented
+        return (
+            self.spec == other.spec
+            and self._counts == other._counts
+            and self._last_timestamp == other._last_timestamp
+            and self._gaps == other._gaps
+        )
+
+    __hash__ = None  # mutable; keep unhashable like other stat accumulators
+
     def total_variation_distance(self, other: "InterArrivalHistogram") -> float:
         """TV distance between two normalized histograms (0 = identical)."""
         if self.spec.num_bins != other.spec.num_bins:

@@ -153,6 +153,11 @@ class EpochRateController:
     def epochs_elapsed(self) -> int:
         return self._next_boundary // self.epoch_cycles - 1
 
+    @property
+    def next_boundary(self) -> int:
+        """The next epoch-boundary cycle (for the next-event engine)."""
+        return self._next_boundary
+
 
 class EpochRateShaper:
     """Fletcher'14-style shaper: constant rate per epoch, fake-filled.
@@ -211,6 +216,17 @@ class EpochRateShaper:
         return len(self._buffer)
 
     # -- per-cycle operation -----------------------------------------------
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle :meth:`tick` does real work.
+
+        The stream is unconditionally periodic: the next slot always
+        fires (real or fake), and every epoch boundary re-times the
+        slots and consumes the epoch's feedback flags.  The pressure
+        flag set on intermediate ticks is idempotent while the buffer
+        is frozen, so skipped ticks change no state.
+        """
+        return min(self.controller.next_boundary, max(cycle, self._next_slot))
 
     def tick(self, cycle: int) -> None:
         """Fire exactly at each rate slot: real if queued, else fake.

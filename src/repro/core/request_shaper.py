@@ -102,6 +102,31 @@ class RequestCamouflage:
 
     # -- per-cycle operation ------------------------------------------------------
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle :meth:`tick` could do more than count a stall.
+
+        The replenishment boundary is always an event (credits reload,
+        fake eligibility changes); a queued real release and a pending
+        fake release contribute their shaper lower bounds.  Injection
+        backpressure is not modelled here — a full link port keeps the
+        *link* busy, which already pins the system to per-cycle mode.
+        """
+        event = self.shaper.next_replenish_cycle
+        if self._buffer:
+            real = self.shaper.earliest_real_release(cycle)
+            if real is not None and real < event:
+                event = real
+        if self.generate_fake:
+            fake = self.shaper.earliest_fake_release(cycle)
+            if fake is not None and fake < event:
+                event = fake
+        return max(cycle, event)
+
+    def skip_idle(self, cycle: int, target: int) -> None:
+        """Closed-form replay of stall bookkeeping over ``[cycle, target)``."""
+        if self._buffer and target > cycle:
+            self.stall_cycles += target - cycle
+
     def tick(self, cycle: int) -> None:
         """Release at most one transaction (real preferred over fake)."""
         self.shaper.replenish_if_due(cycle)
@@ -165,6 +190,9 @@ class PassthroughShaper:
     @property
     def occupancy(self) -> int:
         return len(self._buffer)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return cycle if self._buffer else None
 
     def tick(self, cycle: int) -> None:
         if self._buffer and self.link.can_inject(self.port):

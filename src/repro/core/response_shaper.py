@@ -102,6 +102,25 @@ class ResponseCamouflage:
 
     # -- per-cycle operation -----------------------------------------------------
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle :meth:`tick` could release or cross a boundary.
+
+        Boundaries always count (credit reload plus the priority-warning
+        hook); a queued real response contributes the shaper's lower
+        bound, and fake responses are only eligible while the queue is
+        empty (Figure 6 case 3).  Link backpressure is the link's event.
+        """
+        event = self.shaper.next_replenish_cycle
+        if self._queue:
+            real = self.shaper.earliest_real_release(cycle)
+            if real is not None and real < event:
+                event = real
+        elif self.generate_fake:
+            fake = self.shaper.earliest_fake_release(cycle)
+            if fake is not None and fake < event:
+                event = fake
+        return max(cycle, event)
+
     def tick(self, cycle: int) -> None:
         boundaries = self.shaper.replenish_if_due(cycle)
         if boundaries:
@@ -180,6 +199,9 @@ class PassthroughResponsePath:
     @property
     def occupancy(self) -> int:
         return len(self._queue)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return cycle if self._queue else None
 
     def tick(self, cycle: int) -> None:
         if self._queue and self.link.can_inject(self.port):

@@ -140,6 +140,10 @@ class BinShaper:
                 self._config = self._pending_config
                 self._pending_config = None
             self._credits = list(self._config.credits)
+            # A jitter hold armed against the old period's credits must
+            # not delay (or raise against) a release whose bin was just
+            # reloaded: the hardware latch resets with the registers.
+            self._jitter_hold_until = None
             self._next_replenish += self.spec.replenish_period
             self.replenishments += 1
             boundaries += 1
@@ -210,26 +214,78 @@ class BinShaper:
         """May a fake transaction release this cycle (unused credits)?"""
         return self._eligible_bin(self._unused, self._delta(cycle)) is not None
 
+    def _earliest_eligible(
+        self,
+        registers: List[int],
+        cycle: int,
+        floor: Optional[int] = None,
+    ) -> Optional[int]:
+        """Smallest ``c' >= max(cycle, floor)`` whose inter-arrival gap
+        makes :meth:`_eligible_bin` succeed against ``registers``.
+
+        Assumes no releases or replenishments happen in between (the
+        caller re-queries after either).  ``None`` when the registers
+        hold no credits at all.
+        """
+        self._delta(cycle)  # clock-monotonicity check
+        lo = cycle if floor is None else max(cycle, floor)
+        if not any(r > 0 for r in registers):
+            return None
+        edges = self.spec.edges
+        last = self._last_release
+        if not self._strict:
+            # Default rule: eligible as soon as delta reaches the
+            # smallest credited bin's edge (monotone in delta).
+            smallest = min(e for e, r in zip(edges, registers) if r > 0)
+            return max(lo, last + smallest)
+        # Strict rule: eligibility is per bin interval
+        # [edges[k], edges[k+1]) and non-monotone in delta — a credited
+        # bin whose interval has already passed only becomes usable
+        # again through the top-bin fallback.
+        best: Optional[int] = None
+        for k, edge in enumerate(edges):
+            if registers[k] <= 0:
+                continue
+            start = max(lo, last + edge)
+            if k + 1 < len(edges) and start >= last + edges[k + 1]:
+                continue  # interval already passed at the floor
+            if best is None or start < best:
+                best = start
+        # Top-bin fallback: once delta reaches the last edge the
+        # default rule applies, so any remaining credit is eligible.
+        fallback = max(lo, last + edges[-1])
+        if best is None or fallback < best:
+            best = fallback
+        return best
+
     def earliest_real_release(self, cycle: int) -> Optional[int]:
         """Earliest future cycle a real release becomes possible.
+
+        A true lower bound on ``min {c' >= cycle : can_release_real(c')}``
+        under both the strict exact-bin rule and an armed jitter hold,
+        so the next-event engine can skip straight to it:
+
+        * no jitter, or jitter with a hold armed — the returned cycle
+          is *exactly* the first cycle :meth:`can_release_real` answers
+          True (assuming no replenishment in between);
+        * jitter enabled but no hold armed yet — the returned cycle is
+          where the hold would be armed; the draw is unknown until
+          then, so the release may still be held a few cycles past it.
 
         ``None`` when no live credits remain — the caller must wait for
         the next replenishment (:attr:`next_replenish_cycle`).
         """
-        delta = self._delta(cycle)
-        if self._eligible_bin(self._credits, delta) is not None:
-            return cycle
-        best: Optional[int] = None
-        for k, edge in enumerate(self.spec.edges):
-            if self._credits[k] > 0 and edge > delta:
-                candidate = self._last_release + edge
-                if best is None or candidate < best:
-                    best = candidate
-        if best is None and any(c > 0 for c in self._credits):
-            # Strict mode with only already-passed bins left: the
-            # top-bin fallback fires once delta reaches the last edge.
-            best = self._last_release + self.spec.edges[-1]
-        return best
+        floor = self._jitter_hold_until if self._jitter_rng is not None else None
+        return self._earliest_eligible(self._credits, cycle, floor=floor)
+
+    def earliest_fake_release(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle a fake release becomes possible.
+
+        Exactly the first cycle :meth:`can_release_fake` answers True
+        (fake releases never jitter); ``None`` when no unused credits
+        remain from the previous period.
+        """
+        return self._earliest_eligible(self._unused, cycle)
 
     @property
     def next_replenish_cycle(self) -> int:

@@ -145,6 +145,83 @@ class Core:
         if self.done and self.finish_cycle is None:
             self.finish_cycle = cycle
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle this core's :meth:`tick` does more than stall.
+
+        Contract for the next-event engine: returns ``cycle`` when the
+        core would fetch, probe the caches or retire *this* cycle; a
+        future cycle when its only pending event is a known completion
+        (an on-chip hit latency expiring); ``None`` when it is done or
+        blocked on an external fill.  In the latter two cases every
+        skipped tick is pure bookkeeping replayed by :meth:`skip_idle`.
+        """
+        if self.done:
+            return None
+        if (
+            self._record_index < self._trace_length
+            and self.window_occupancy < self.config.window_size
+        ):
+            probe = self._compute_span_probe_cycle(cycle)
+            if probe is not None:
+                return probe
+            # Fetch would do externally visible work: probe the
+            # hierarchy (which mutates cache state even on a
+            # structural stall, so it must happen every cycle).
+            return cycle
+        if self._pending_loads and self._pending_loads[0].seq == self._seq_retired:
+            head = self._pending_loads[0]
+            if head.completion_cycle is None:
+                return None  # waiting on a memory fill
+            return max(cycle, head.completion_cycle)
+        if self._seq_retired < self._seq_fetched:
+            return cycle  # head instructions can retire now
+        return None
+
+    def _compute_span_probe_cycle(self, cycle: int) -> Optional[int]:
+        """Cycle of the next hierarchy probe during pure compute, if known.
+
+        While the core is streaming non-memory instructions with no
+        pending loads in the window and at least a full fetch group of
+        window headroom, every tick deterministically fetches and
+        retires exactly ``width`` instructions (occupancy is
+        non-increasing, so the headroom guard holds for the whole
+        span).  The next tick that touches shared state — the cache
+        probe for the record's memory access — is therefore exactly
+        ``nonmem_remaining // width`` ticks away.  Returns ``None``
+        when the current cycle is not in that regime or the probe is
+        due now.
+        """
+        if self._pending_loads or self._nonmem_remaining <= 0:
+            return None
+        if self.window_occupancy + self.config.width > self.config.window_size:
+            return None
+        ticks = self._nonmem_remaining // self.config.width
+        if ticks <= 0:
+            return None
+        return cycle + ticks
+
+    def skip_idle(self, cycle: int, target: int) -> None:
+        """Replay ticks over ``[cycle, target)`` in closed form.
+
+        Only legal when :meth:`next_event_cycle` stayed above ``target``
+        for the whole span.  Two skippable regimes exist: pure compute
+        (each tick fetches and retires exactly ``width`` non-memory
+        instructions) and a retire stall on an incomplete head load
+        (each tick counts one cycle and one memory-stall cycle).
+        """
+        if self.done or target <= cycle:
+            return
+        span = target - cycle
+        if self._compute_span_probe_cycle(cycle) is not None:
+            advanced = span * self.config.width
+            self.cycles += span
+            self._seq_fetched += advanced
+            self._seq_retired += advanced
+            self._nonmem_remaining -= advanced
+            return
+        self.cycles += span
+        self.memory_stall_cycles += span
+
     def _fetch(self, cycle: int) -> None:
         budget = self.config.width
         while budget > 0 and self._record_index < self._trace_length:

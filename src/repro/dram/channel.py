@@ -32,6 +32,10 @@ class Channel:
         """True when a command may be driven this cycle."""
         return cycle >= self._command_bus_busy_until
 
+    def earliest_command_bus(self) -> int:
+        """First cycle the command bus is free (planning helper)."""
+        return self._command_bus_busy_until
+
     def _claim_command_bus(self, cycle: int) -> None:
         if not self.command_bus_free(cycle):
             raise ProtocolError(
@@ -56,6 +60,19 @@ class Channel:
         if self._last_data_rank not in (-1, rank_index):
             earliest += self._timing.tRTRS
         return start >= earliest
+
+    def earliest_data_bus_command(self, rank_index: int, is_write: bool) -> int:
+        """Earliest command cycle whose burst fits on the data bus.
+
+        May be negative or in the past — callers take the max with the
+        current cycle.  Exact while no other command issues in between:
+        ``data_bus_free_for(c, ...)`` is monotone in ``c``.
+        """
+        lead = self._timing.tCWL if is_write else self._timing.tCAS
+        earliest = self._data_bus_busy_until
+        if self._last_data_rank not in (-1, rank_index):
+            earliest += self._timing.tRTRS
+        return earliest - lead
 
     def _claim_data_bus(self, cycle: int, rank_index: int, is_write: bool) -> int:
         start = self._data_bus_start(cycle, rank_index, is_write)

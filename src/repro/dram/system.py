@@ -99,6 +99,35 @@ class DramSystem:
             return channel.can_activate(address.rank, address.bank, cycle)
         return channel.can_precharge(address.rank, address.bank, cycle)
 
+    def earliest_advance_cycle(self, address: DecodedAddress, is_write: bool,
+                               cycle: int) -> int:
+        """Earliest ``c' >= cycle`` with ``can_advance(address, is_write, c')``.
+
+        Exact — not just a lower bound — provided no command issues to
+        this DRAM system in the meantime: every constraint involved
+        (command bus, data bus, bank/rank earliest-issue registers) is
+        a fixed threshold that only moves when a command issues, so the
+        required command and its legality are frozen over the gap.  The
+        next-event engine relies on this to jump straight to the cycle
+        a stalled transaction becomes schedulable.
+        """
+        channel = self.channels[address.channel]
+        rank = channel.ranks[address.rank]
+        bank = rank.banks[address.bank]
+        earliest = max(cycle, channel.earliest_command_bus())
+        if bank.is_row_hit(address.row):
+            earliest = max(
+                earliest,
+                bank.earliest_column(),
+                channel.earliest_data_bus_command(address.rank, is_write),
+            )
+            if not is_write:
+                earliest = max(earliest, rank.earliest_read_gate())
+            return earliest
+        if bank.open_row is None:
+            return max(earliest, rank.earliest_activate(address.bank))
+        return max(earliest, bank.earliest_precharge())
+
     def can_issue(self, command: DramCommand, cycle: int) -> bool:
         """May ``command`` legally issue at ``cycle``?"""
         a = command.address
@@ -149,6 +178,12 @@ class DramSystem:
             return []
         return [key for key, deadline in self._refresh_deadline.items()
                 if cycle >= deadline]
+
+    def next_refresh_cycle(self) -> Optional[int]:
+        """The earliest refresh deadline, or ``None`` when disabled."""
+        if not self._enable_refresh or not self._refresh_deadline:
+            return None
+        return min(self._refresh_deadline.values())
 
     def refresh_precharge_targets(self, channel: int, rank: int):
         """Banks that must be precharged before a refresh can issue."""

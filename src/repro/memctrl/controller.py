@@ -179,6 +179,45 @@ class MemoryController:
         self._inject_scheduler_dummies(cycle)
         self._schedule_and_issue(cycle)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle :meth:`tick` could change any state.
+
+        Sources: in-flight burst completions, the earliest refresh
+        deadline, the scheduler's earliest possible pick over the
+        currently selectable transactions, and an active write drain.
+        A refresh in progress (open banks being precharged, REFRESH
+        awaiting legality) is evaluated per-cycle — it is short and
+        rare, and its multi-step progress has no cheap closed form.
+        """
+        if self._refresh_pending:
+            return cycle
+        events = []
+        for txn in self._in_flight:
+            if txn.data_ready_cycle is not None:
+                events.append(max(cycle, txn.data_ready_cycle))
+        next_refresh = self.dram.next_refresh_cycle()
+        if next_refresh is not None:
+            events.append(max(cycle, next_refresh))
+        sched = self.scheduler.next_event_cycle(
+            self._selectable(), self.dram, cycle
+        )
+        if sched is not None:
+            events.append(max(cycle, sched))
+        if self.write_queue is not None and self.write_queue.drain_pending(
+            reads_pending=not self.queue.is_empty
+        ):
+            drainable = (
+                t
+                for t in self.write_queue.peek_candidates()
+                if self.egress_has_room(t.core_id)
+            )
+            drain = Scheduler._earliest_candidate_advance(
+                drainable, self.dram, cycle
+            )
+            if drain is not None:
+                events.append(drain)
+        return min(events) if events else None
+
     def _inject_scheduler_dummies(self, cycle: int) -> None:
         """Fill empty Fixed-Service slots with dummy transactions.
 

@@ -35,6 +35,40 @@ class Scheduler:
     def tick(self, cycle: int) -> None:
         """Hook: called once per cycle before selection."""
 
+    def next_event_cycle(
+        self,
+        candidates: Sequence[MemoryTransaction],
+        dram: DramSystem,
+        cycle: int,
+    ) -> Optional[int]:
+        """Earliest cycle :meth:`select` could pick a transaction.
+
+        A true lower bound assuming no DRAM command issues in between.
+        Conservative default: any candidate at all pins the scheduler
+        to per-cycle evaluation (policies with time-gated eligibility
+        override this with something sharper); no candidates ⇒ no
+        event.
+        """
+        for _ in candidates:
+            return cycle
+        return None
+
+    @staticmethod
+    def _earliest_candidate_advance(
+        candidates: Iterable[MemoryTransaction], dram: DramSystem, cycle: int
+    ) -> Optional[int]:
+        """Min over candidates of the exact earliest-issuable cycle."""
+        earliest: Optional[int] = None
+        for txn in candidates:
+            c = dram.earliest_advance_cycle(txn.decoded, txn.is_write, cycle)
+            if earliest is None or c < earliest:
+                earliest = c
+                if earliest <= cycle:
+                    break
+        if earliest is None:
+            return None
+        return max(cycle, earliest)
+
     # -- shared helper -------------------------------------------------
 
     @staticmethod
@@ -72,6 +106,12 @@ class FrFcfsScheduler(Scheduler):
 
     def select(self, queue, dram, cycle):
         return self._frfcfs_pick(queue, dram, cycle)
+
+    def next_event_cycle(self, candidates, dram, cycle):
+        # select() picks something exactly when any candidate's
+        # required command is issuable, so the earliest such cycle is
+        # the precise next event.
+        return self._earliest_candidate_advance(candidates, dram, cycle)
 
 
 class PriorityFrFcfsScheduler(Scheduler):
@@ -150,6 +190,12 @@ class PriorityFrFcfsScheduler(Scheduler):
         if pick is not None:
             return pick
         return self._frfcfs_pick(queue, dram, cycle)
+
+    def next_event_cycle(self, candidates, dram, cycle):
+        # Boost/exclusive modes change *which* candidate wins, not
+        # *whether* one does: every mode falls back to the full
+        # candidate set, so the FR-FCFS bound is exact here too.
+        return self._earliest_candidate_advance(candidates, dram, cycle)
 
     def on_issue(self, txn, cycle):
         if self._exclusive_core is None and self._boost.get(txn.core_id, 0) > 0:
@@ -296,6 +342,16 @@ class FixedServiceScheduler(Scheduler):
     def select(self, queue, dram, cycle):
         eligible = [t for t in queue if cycle >= self._next_slot[t.core_id]]
         return self._frfcfs_pick(eligible, dram, cycle)
+
+    def next_event_cycle(self, candidates, dram, cycle):
+        """Earliest due slot — of a queued candidate, or of any core
+        when dummy fill keeps empty slots generating work."""
+        events = []
+        if self.dummy_fill and self._next_slot:
+            events.append(max(cycle, min(self._next_slot)))
+        for txn in candidates:
+            events.append(max(cycle, self._next_slot[txn.core_id]))
+        return min(events) if events else None
 
     def on_issue(self, txn, cycle):
         self.issued_slots += 1

@@ -88,6 +88,16 @@ class WriteQueue:
                 self._draining = True
         return self._draining and occupancy > 0
 
+    def drain_pending(self, reads_pending: bool) -> bool:
+        """What :meth:`should_drain` would answer, without updating the
+        hysteresis state (planning query for the next-event engine)."""
+        occupancy = len(self._entries)
+        if occupancy == 0:
+            return False
+        if self._draining:
+            return occupancy > self.policy.low_watermark
+        return occupancy >= self.policy.high_watermark or not reads_pending
+
     def peek_candidates(self) -> List[MemoryTransaction]:
         """Arrival-ordered view for the scheduler's FR-FCFS pick."""
         return list(self._entries)

@@ -65,17 +65,26 @@ class SharedLink:
         Cycles between winning arbitration and arriving.
     port_capacity:
         Ingress queue depth per port; full ⇒ producer back-pressure.
+    trace_limit:
+        When set, :attr:`grant_trace` keeps only the most recent
+        ``trace_limit`` grants (a bounded ring) so multi-million-cycle
+        performance runs do not exhaust memory.  ``None`` (default)
+        keeps the full trace for the security benchmarks.
     """
 
     def __init__(self, num_ports: int, latency: int = 4,
-                 port_capacity: int = 16) -> None:
+                 port_capacity: int = 16,
+                 trace_limit: Optional[int] = None) -> None:
         if num_ports <= 0:
             raise ConfigurationError("num_ports must be positive")
         if latency < 1:
             raise ConfigurationError("latency must be at least 1 cycle")
         if port_capacity <= 0:
             raise ConfigurationError("port_capacity must be positive")
+        if trace_limit is not None and trace_limit <= 0:
+            raise ConfigurationError("trace_limit must be positive")
         self.latency = latency
+        self.trace_limit = trace_limit
         self.ports = [LinkPort(i, port_capacity) for i in range(num_ports)]
         self._rr_next = 0
         # (arrival_cycle, txn) in grant order; arrival cycles are
@@ -83,8 +92,13 @@ class SharedLink:
         self._in_flight: Deque[Tuple[int, MemoryTransaction]] = deque()
         # Wire trace for the pin/bus-monitoring adversary:
         # (grant_cycle, port, transaction).
-        self.grant_trace: List[Tuple[int, int, MemoryTransaction]] = []
+        self.grant_trace = self._new_trace()
         self.total_grants = 0
+
+    def _new_trace(self):
+        if self.trace_limit is None:
+            return []
+        return deque(maxlen=self.trace_limit)
 
     # -- producer side -------------------------------------------------
 
@@ -98,6 +112,19 @@ class SharedLink:
         return self.ports[port].occupancy
 
     # -- per-cycle operation -----------------------------------------------
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next cycle the link could grant or deliver.
+
+        Buffered flits mean arbitration may run *now* (backpressure is
+        the consumer's concern); otherwise the head-of-line in-flight
+        arrival is the only timed event.  Idle and empty ⇒ ``None``.
+        """
+        if any(not p.is_empty for p in self.ports):
+            return cycle
+        if self._in_flight:
+            return max(cycle, self._in_flight[0][0])
+        return None
 
     def tick(self, cycle: int, dest_ready: bool = True) -> None:
         """Arbitrate one grant (if the consumer has room)."""
@@ -127,5 +154,6 @@ class SharedLink:
 
     def drain_trace(self) -> List[Tuple[int, int, MemoryTransaction]]:
         """Hand over and clear the grant trace (bounded-memory runs)."""
-        trace, self.grant_trace = self.grant_trace, []
+        trace = list(self.grant_trace)
+        self.grant_trace = self._new_trace()
         return trace

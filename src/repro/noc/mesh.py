@@ -116,11 +116,14 @@ class MeshNetwork:
         config: Optional[MeshConfig] = None,
         latency: int = 1,  # accepted for SharedLink API parity (per hop)
         port_capacity: int = 16,
+        trace_limit: Optional[int] = None,
     ) -> None:
         if num_ports <= 0:
             raise ConfigurationError("num_ports must be positive")
         if direction not in ("to_hub", "from_hub"):
             raise ConfigurationError(f"unknown direction {direction!r}")
+        if trace_limit is not None and trace_limit <= 0:
+            raise ConfigurationError("trace_limit must be positive")
         self.config = config or MeshConfig()
         self.direction = direction
         self.num_ports = num_ports
@@ -143,10 +146,16 @@ class MeshNetwork:
             deque() for _ in range(num_ports)
         ]
         self._arrivals: Deque[MemoryTransaction] = deque()
-        self.grant_trace: List[Tuple[int, int, MemoryTransaction]] = []
+        self.trace_limit = trace_limit
+        self.grant_trace = self._new_trace()
         self.total_grants = 0
         self.total_hops = 0
         self._in_flight = 0
+
+    def _new_trace(self):
+        if self.trace_limit is None:
+            return []
+        return deque(maxlen=self.trace_limit)
 
     # -- geometry -----------------------------------------------------------
 
@@ -202,6 +211,18 @@ class MeshNetwork:
         return len(self._source_queues[port])
 
     # -- per-cycle operation -------------------------------------------------------
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """``cycle`` while any flit is buffered anywhere, else ``None``.
+
+        Unlike :class:`~repro.noc.link.SharedLink` the mesh has no
+        timed in-flight state — every buffered flit can move (or eject)
+        on the very next tick — so the mesh is only ever skippable when
+        completely empty.
+        """
+        if self._arrivals or self.in_flight_count:
+            return cycle
+        return None
 
     def tick(self, cycle: int, dest_ready: bool = True) -> None:
         """Advance every router by one cycle.
@@ -281,7 +302,8 @@ class MeshNetwork:
         return buffered + sum(len(q) for q in self._source_queues)
 
     def drain_trace(self):
-        trace, self.grant_trace = self.grant_trace, []
+        trace = list(self.grant_trace)
+        self.grant_trace = self._new_trace()
         return trace
 
     def hop_distance(self, port: int) -> int:

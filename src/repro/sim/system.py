@@ -116,6 +116,7 @@ class SystemBuilder:
         self._noc_latency = 4
         self._noc_port_capacity = 16
         self._noc_topology = "shared"
+        self._noc_trace_limit: Optional[int] = None
         self._queue_capacity = 32
         self._page_policy = "open"
         self._write_queue_policy = None
@@ -174,6 +175,7 @@ class SystemBuilder:
         latency: int = 4,
         port_capacity: int = 16,
         topology: str = "shared",
+        trace_limit: Optional[int] = None,
     ) -> "SystemBuilder":
         """Configure the on-chip channels.
 
@@ -181,12 +183,20 @@ class SystemBuilder:
         default model) or ``"mesh"`` (2D mesh of input-buffered
         routers — position-dependent contention; see
         :mod:`repro.noc.mesh`).
+
+        ``trace_limit`` bounds each channel's adversary-visible
+        ``grant_trace`` to the most recent N grants (default ``None``
+        keeps the full trace, which the security benchmarks need but
+        grows without bound on long performance runs).
         """
         if topology not in ("shared", "mesh"):
             raise ConfigurationError(f"unknown NoC topology {topology!r}")
+        if trace_limit is not None and trace_limit <= 0:
+            raise ConfigurationError("trace_limit must be positive")
         self._noc_latency = latency
         self._noc_port_capacity = port_capacity
         self._noc_topology = topology
+        self._noc_trace_limit = trace_limit
         return self
 
     def with_core_config(self, config: CoreConfig) -> "SystemBuilder":
@@ -302,19 +312,23 @@ class SystemBuilder:
             request_link = MeshNetwork(
                 num_cores, direction="to_hub",
                 port_capacity=self._noc_port_capacity,
+                trace_limit=self._noc_trace_limit,
             )
             response_link = MeshNetwork(
                 num_cores, direction="from_hub",
                 port_capacity=self._noc_port_capacity,
+                trace_limit=self._noc_trace_limit,
             )
         else:
             request_link = SharedLink(
                 num_cores, latency=self._noc_latency,
                 port_capacity=self._noc_port_capacity,
+                trace_limit=self._noc_trace_limit,
             )
             response_link = SharedLink(
                 num_cores, latency=self._noc_latency,
                 port_capacity=self._noc_port_capacity,
+                trace_limit=self._noc_trace_limit,
             )
 
         request_paths = []
@@ -492,6 +506,55 @@ class System:
 
         self.current_cycle = cycle + 1
 
+    # -- next-event engine ---------------------------------------------------
+
+    def _next_event_target(self, limit: int) -> Optional[int]:
+        """The cycle the next tick must run at, or ``None`` to not skip.
+
+        Polls every component's ``next_event_cycle`` contract: a return
+        of the current cycle (work possible *now*) or a cross-component
+        coupling with same-cycle work (staged requests the controller
+        can take, egress responses a path can buffer) pins the system
+        to per-cycle stepping.  Otherwise the minimum future event —
+        capped at ``limit`` — is the only cycle anything can change, so
+        the clock may jump there; the skipped span is pure bookkeeping
+        replayed by :meth:`_skip_idle_span`.
+        """
+        cycle = self.current_cycle
+        if self._mc_staging and self.controller.can_accept():
+            return None
+        earliest = limit
+        for core_id in range(self.num_cores):
+            if (
+                self.response_paths[core_id].can_accept()
+                and self.controller.pending_response_count(core_id)
+            ):
+                return None
+        components = [self.request_link, self.response_link, self.controller]
+        components.extend(self.cores)
+        components.extend(self.request_paths)
+        components.extend(self.response_paths)
+        for component in components:
+            event = component.next_event_cycle(cycle)
+            if event is None:
+                continue
+            if event <= cycle:
+                return None
+            if event < earliest:
+                earliest = event
+        return earliest if earliest > cycle else None
+
+    def _skip_idle_span(self, target: int) -> None:
+        """Jump the clock to ``target``, replaying skipped bookkeeping."""
+        cycle = self.current_cycle
+        for core in self.cores:
+            core.skip_idle(cycle, target)
+        for path in self.request_paths:
+            skip = getattr(path, "skip_idle", None)
+            if skip is not None:
+                skip(cycle, target)
+        self.current_cycle = target
+
     def _deliver(self, txn: MemoryTransaction, cycle: int) -> None:
         txn.delivered_cycle = cycle
         core = self.cores[txn.core_id]
@@ -507,6 +570,7 @@ class System:
         max_cycles: int,
         stop_when_done: bool = True,
         watchdog_cycles: int = 200_000,
+        engine: str = "cycle",
     ) -> SystemReport:
         """Run for up to ``max_cycles`` more cycles; returns a report.
 
@@ -520,9 +584,22 @@ class System:
         work is still pending, the run aborts with a diagnostic
         :class:`~repro.common.errors.SimulationError` instead of
         spinning forever.  Set to 0 to disable.
+
+        ``engine`` selects the stepping strategy: ``"cycle"`` (default)
+        ticks every cycle; ``"next_event"`` jumps the clock over spans
+        where every component reports no possible state change (idle
+        cores awaiting fills, shapers between credits and boundaries,
+        DRAM awaiting a timing expiry), producing a bit-identical
+        :class:`~repro.sim.stats.SystemReport` at a fraction of the
+        wall-clock cost on low-intensity workloads.
         """
         if max_cycles <= 0:
             raise SimulationError(f"max_cycles must be positive: {max_cycles}")
+        if engine not in ("cycle", "next_event"):
+            raise SimulationError(
+                f"unknown engine {engine!r}: expected 'cycle' or 'next_event'"
+            )
+        fast = engine == "next_event"
         end = self.current_cycle + max_cycles
         last_progress_cycle = self.current_cycle
         last_retired = sum(c.retired_instructions for c in self.cores)
@@ -531,9 +608,33 @@ class System:
             if stop_when_done and self.all_cores_done():
                 break
             self.tick()
+            skipped = False
+            if (
+                fast
+                and self.current_cycle < end
+                and not (stop_when_done and self.all_cores_done())
+            ):
+                target = self._next_event_target(end)
+                if watchdog_cycles and target is not None:
+                    # Never jump past the watchdog horizon in one step:
+                    # a frozen (deadlocked) system must still trip the
+                    # progress check, exactly as the per-cycle loop
+                    # would while spinning through the same span.
+                    target = min(
+                        target,
+                        max(
+                            self.current_cycle + 1,
+                            last_progress_cycle + watchdog_cycles + 1,
+                        ),
+                    )
+                if target is not None and target > self.current_cycle:
+                    self._skip_idle_span(target)
+                    skipped = True
             # Check progress only every 256 cycles to keep the hot
-            # loop cheap; the watchdog granularity does not matter.
-            if watchdog_cycles and (self.current_cycle & 0xFF) == 0:
+            # loop cheap (the watchdog granularity does not matter),
+            # plus after every skip, whose span is progress-free by
+            # construction.
+            if watchdog_cycles and (skipped or (self.current_cycle & 0xFF) == 0):
                 retired = sum(c.retired_instructions for c in self.cores)
                 delivered = sum(len(lat) for lat in self._latencies)
                 if retired != last_retired or delivered != last_delivered:
