@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli mi
     python -m repro.cli tradeoff --benchmark apache
     python -m repro.cli fig13 --adversary gcc --victim mcf
+    python -m repro.cli lint [paths...] [--format json]
 
 Each subcommand runs the corresponding experiment driver from
 :mod:`repro.analysis.experiments` and prints the same rows/series the
@@ -219,11 +220,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("calibrate", help=_EXPERIMENTS["calibrate"])
     p.add_argument("--benchmark", default=None, choices=BENCHMARK_NAMES)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the repro-lint invariant checkers (RL001..RL004)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated checker ids to run")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="override the configured baseline file")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline file entirely")
+    p.add_argument("--list-checkers", action="store_true",
+                   help="print the checker catalog and exit")
+
     return parser
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint.runner import run as lint_run
+
+    return lint_run(
+        paths=args.paths,
+        output_format=args.format,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        select=args.select,
+        list_checkers=args.list_checkers,
+    )
 
 
 _HANDLERS = {
     "list": _cmd_list,
+    "lint": _cmd_lint,
     "fig11": _cmd_fig11,
     "fig12": _cmd_fig12,
     "fig13": _cmd_fig13,

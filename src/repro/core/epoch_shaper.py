@@ -72,10 +72,11 @@ class RateSet:
         """
         if accesses <= 0:
             return self.intervals[-1]
-        needed = epoch_cycles / accesses
+        # interval <= epoch_cycles / accesses, cross-multiplied so the
+        # selection stays exact integer arithmetic (RL002).
         chosen = self.intervals[0]
         for interval in self.intervals:
-            if interval <= needed:
+            if interval * accesses <= epoch_cycles:
                 chosen = interval
         return chosen
 

@@ -73,6 +73,16 @@ class PhaseDetector:
             self._next_boundary += self.config.window_cycles
         return fired
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Next window boundary: the only cycle a detection can fire.
+
+        Between boundaries the detector's observable state cannot
+        change (``note_demand`` only bumps a counter read at the
+        boundary), so this is a sound lower bound for the next-event
+        engine (DESIGN.md §4).
+        """
+        return max(self._next_boundary, cycle)
+
     # -- internals -----------------------------------------------------------
 
     def _close_window(self, boundary_cycle: int) -> bool:

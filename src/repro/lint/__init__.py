@@ -1,0 +1,43 @@
+"""repro.lint — AST-based invariant checks for simulator soundness.
+
+The shaping guarantee (release times match the target distribution)
+and the next-event engine's bit-identical replay are *determinism*
+guarantees; this package machine-checks the coding invariants they
+rest on instead of trusting convention.  See docs/static-analysis.md
+for the checker catalog and suppression policy.
+
+Run it as ``python -m repro.lint [paths...]`` or ``repro lint``.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry, load_baseline
+from repro.lint.config import LintConfig, config_from_table, load_config
+from repro.lint.findings import Finding, LintResult, Severity
+from repro.lint.registry import (
+    Checker,
+    ModuleContext,
+    all_checkers,
+    get_checker,
+    register,
+)
+from repro.lint.runner import lint_paths, lint_source, main, run
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "Severity",
+    "all_checkers",
+    "config_from_table",
+    "get_checker",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_config",
+    "main",
+    "register",
+    "run",
+]

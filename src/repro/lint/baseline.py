@@ -1,0 +1,98 @@
+"""Baseline file: repo-blessed suppressions with justifications.
+
+Line format (one entry per line)::
+
+    RL003 src/repro/sim/system.py System -- top-level driver, never \
+ticked by the engines
+
+i.e. ``<checker-id> <path> <key> -- <justification>``.  ``<key>`` is
+the finding's stable symbol key (class name, function qualname, or
+dotted call target — shown in JSON output as ``key``); a bare line
+number works too but goes stale on unrelated edits.  The justification
+after ``--`` is mandatory: a baseline entry without a *why* is a bug
+masquerading as policy.  ``#`` lines and blank lines are comments.
+
+Entries that suppressed nothing in a run are reported as "unused" so
+the file cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    checker_id: str
+    path: str
+    key: str
+    justification: str
+    lineno: int
+
+    @property
+    def suppression_key(self) -> str:
+        return f"{self.checker_id}:{self.path}:{self.key}"
+
+
+@dataclass
+class Baseline:
+    path: Optional[str] = None
+    entries: List[BaselineEntry] = field(default_factory=list)
+    _hits: Set[str] = field(default_factory=set)
+
+    def suppresses(self, finding) -> bool:
+        """True (and record the hit) when an entry matches ``finding``."""
+        for candidate in (
+            finding.suppression_key,
+            f"{finding.checker_id}:{finding.path}:{finding.line}",
+        ):
+            for entry in self.entries:
+                if entry.suppression_key == candidate:
+                    self._hits.add(entry.suppression_key)
+                    return True
+        return False
+
+    def unused_entries(self) -> List[BaselineEntry]:
+        return [e for e in self.entries if e.suppression_key not in self._hits]
+
+
+class BaselineFormatError(ValueError):
+    pass
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; missing file means an empty baseline."""
+    baseline = Baseline(path=path)
+    if not os.path.isfile(path):
+        return baseline
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            baseline.entries.append(_parse_entry(line, lineno, path))
+    return baseline
+
+
+def _parse_entry(line: str, lineno: int, path: str) -> BaselineEntry:
+    head, sep, justification = line.partition("--")
+    if not sep or not justification.strip():
+        raise BaselineFormatError(
+            f"{path}:{lineno}: baseline entry needs a '-- <justification>' tail: "
+            f"{line!r}"
+        )
+    parts = head.split()
+    if len(parts) != 3:
+        raise BaselineFormatError(
+            f"{path}:{lineno}: expected '<id> <path> <key> -- <why>', got {line!r}"
+        )
+    checker_id, entry_path, key = parts
+    return BaselineEntry(
+        checker_id=checker_id.upper(),
+        path=entry_path.replace(os.sep, "/"),
+        key=key,
+        justification=justification.strip(),
+        lineno=lineno,
+    )

@@ -1,0 +1,13 @@
+"""Built-in checkers.  Importing this package registers them all."""
+
+from repro.lint.checkers.rl001_determinism import DeterminismChecker
+from repro.lint.checkers.rl002_cycle_float import CycleFloatChecker
+from repro.lint.checkers.rl003_next_event import NextEventContractChecker
+from repro.lint.checkers.rl004_mutable_shared import MutableSharedStateChecker
+
+__all__ = [
+    "DeterminismChecker",
+    "CycleFloatChecker",
+    "NextEventContractChecker",
+    "MutableSharedStateChecker",
+]

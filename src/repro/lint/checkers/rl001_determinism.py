@@ -1,0 +1,168 @@
+"""RL001: all randomness and time must flow through the seeded RNG.
+
+Camouflage's security analysis — and PR 1's bit-identical next-event
+replay — both assume that a run is a pure function of its
+configuration.  A single ``time.time()`` or ``random.random()`` call
+anywhere in the simulated path silently breaks that: reports stop
+being reproducible and the shaped release times can no longer be
+audited against the target distribution.
+
+The checker therefore bans, outside the allow-listed RNG module
+(``repro/common/rng.py`` by default):
+
+* importing :mod:`random` or :mod:`secrets` at all,
+* wall-clock calls: ``time.time``/``monotonic``/``perf_counter``/
+  ``process_time`` (and ``_ns`` variants), ``time.sleep``,
+  ``datetime.now``/``utcnow``/``today``,
+* any ``numpy.random.*`` call (including ``default_rng`` — seed it via
+  :meth:`repro.common.rng.DeterministicRng.numpy_generator` instead),
+* ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``.
+
+Import aliases are resolved (``import numpy as np`` + ``np.random.x``
+is caught), so the ban cannot be dodged by renaming.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, ModuleContext, register
+
+_DEFAULT_ALLOW = ["repro/common/rng.py"]
+
+_BANNED_IMPORTS = {
+    "random": "module-level random (unseeded Mersenne state)",
+    "secrets": "OS entropy",
+}
+
+_BANNED_CALLS = {
+    "time.time": "wall clock",
+    "time.time_ns": "wall clock",
+    "time.monotonic": "wall clock",
+    "time.monotonic_ns": "wall clock",
+    "time.perf_counter": "wall clock",
+    "time.perf_counter_ns": "wall clock",
+    "time.process_time": "wall clock",
+    "time.process_time_ns": "wall clock",
+    "time.sleep": "wall-clock stall",
+    "datetime.datetime.now": "wall clock",
+    "datetime.datetime.utcnow": "wall clock",
+    "datetime.date.today": "wall clock",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "OS entropy",
+}
+
+_BANNED_PREFIXES = {
+    "numpy.random.": "unseeded numpy randomness",
+}
+
+_HINT = (
+    "route randomness through repro.common.rng.DeterministicRng "
+    "(numpy via .numpy_generator()); cycle counts, not wall time, "
+    "are the simulator's only clock"
+)
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolve local names back to canonical dotted module paths."""
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+        self.banned_import_nodes: List[ast.AST] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            canonical = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = canonical
+            if alias.name.split(".")[0] in _BANNED_IMPORTS:
+                self.banned_import_nodes.append(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or not node.module:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+        if node.module.split(".")[0] in _BANNED_IMPORTS:
+            self.banned_import_nodes.append(node)
+
+
+def _dotted_name(node: ast.AST, aliases: Dict[str, str]) -> str:
+    """Canonical dotted path of an attribute/name chain, or ''."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    dotted = ".".join(reversed(parts))
+    # Normalise the common spellings numpy uses in this repo.
+    if dotted.startswith("np.random"):
+        dotted = "numpy" + dotted[2:]
+    return dotted
+
+
+@register
+class DeterminismChecker(Checker):
+    id = "RL001"
+    name = "determinism"
+    description = (
+        "bans wall-clock and unseeded randomness outside repro/common/rng.py"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        allow = module.options.get("allow-paths", _DEFAULT_ALLOW)
+        if self.path_matches(module.path, allow):
+            return []
+        tracker = _ImportTracker()
+        tracker.visit(module.tree)
+
+        findings: List[Finding] = []
+        for node in tracker.banned_import_nodes:
+            mod = (
+                node.names[0].name.split(".")[0]
+                if isinstance(node, ast.Import)
+                else node.module.split(".")[0]
+            )
+            findings.append(
+                module.finding(
+                    self.id,
+                    node,
+                    f"import of '{mod}' ({_BANNED_IMPORTS[mod]}) outside the "
+                    "seeded-RNG module",
+                    hint=_HINT,
+                    key=f"import.{mod}",
+                )
+            )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func, tracker.aliases)
+            if not dotted:
+                continue
+            reason = _BANNED_CALLS.get(dotted)
+            if reason is None:
+                for prefix, prefix_reason in _BANNED_PREFIXES.items():
+                    if dotted.startswith(prefix):
+                        reason = prefix_reason
+                        break
+            if reason is None and dotted.startswith("random."):
+                reason = "module-level random (unseeded Mersenne state)"
+            if reason:
+                findings.append(
+                    module.finding(
+                        self.id,
+                        node,
+                        f"call to '{dotted}' ({reason}) breaks run determinism",
+                        hint=_HINT,
+                        key=dotted,
+                    )
+                )
+        return findings

@@ -1,0 +1,275 @@
+"""RL002: cycle/timing arithmetic must stay in exact integers.
+
+The next-event engine's guarantee (DESIGN.md §4) is *bit-identical*
+reports whether the clock steps or jumps.  That only holds while every
+cycle timestamp, deadline, and release time is an integer: float
+quotients compare differently after algebraically-equal rewrites, and
+accumulated float error can reorder two events whose integer cycles
+are equal.  Ratios, fractions, and statistics may of course be floats
+— the checker only fires when a float-producing expression *reaches a
+cycle-valued location*.
+
+Float producers: true division ``/``, ``float(...)`` casts, and float
+literals — except under an explicit integer coercion (``int()``,
+``math.floor``, ``math.ceil``, ``round``), which states intent and
+restores exactness.
+
+Cycle sinks (within the configured simulated packages):
+
+* assignment (plain, annotated, or augmented) to a cycle-named target,
+* ``return`` inside a function whose name is cycle-valued
+  (``next_event_cycle``, ``*_cycle``/``*_cycles``, ``*deadline*``,
+  ``*release*``, ``*boundary*``, ``*_at``),
+* a keyword argument with a cycle-valued name (``f(cycle=x / 2)``),
+* comparison of a cycle-named value against a float expression or a
+  *tainted* local — a variable assigned from a float producer earlier
+  in the same scope (one level of local dataflow, enough to catch
+  ``q = a / b; ... if deadline <= q``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, ModuleContext, register
+
+_DEFAULT_PACKAGES = [
+    "repro/dram",
+    "repro/memctrl",
+    "repro/core",
+    "repro/noc",
+    "repro/sim",
+    "repro/cpu",
+]
+
+_DEFAULT_NAME_PATTERN = (
+    r"(?:^|_)(?:cycle|cycles|deadline|boundary|interval|intervals|release|"
+    r"expiry|epoch)(?:_|$)|_at$"
+)
+_DEFAULT_FUNC_PATTERN = (
+    r"(?:^|_)(?:cycle|cycles)$|deadline|release|boundary|expiry|_at$"
+)
+
+_INT_COERCIONS = {"int", "floor", "ceil", "round"}
+
+_HINT = (
+    "keep cycle math integral: use //, or make the coercion explicit with "
+    "int()/math.ceil()/math.floor(); cross-multiply instead of comparing "
+    "against a quotient"
+)
+
+
+def _coercion_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _float_sources(node: ast.AST) -> List[ast.AST]:
+    """Float-producing subnodes of an expression, pruning int coercions."""
+    sources: List[ast.AST] = []
+
+    def walk(n: ast.AST) -> None:
+        if isinstance(n, ast.Call):
+            name = _coercion_name(n)
+            if name in _INT_COERCIONS:
+                return  # int()/floor()/ceil()/round() restore exactness
+            if name == "float":
+                sources.append(n)
+                return
+        if isinstance(n, ast.BinOp) and isinstance(n.op, ast.Div):
+            sources.append(n)
+        if isinstance(n, ast.Constant) and isinstance(n.value, float):
+            sources.append(n)
+        for child in ast.iter_child_nodes(n):
+            walk(child)
+
+    walk(node)
+    return sources
+
+
+def _target_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _ScopeScanner:
+    """Scan one function (or the module body) for RL002 violations."""
+
+    def __init__(self, checker: "CycleFloatChecker", module: ModuleContext,
+                 func: Optional[ast.AST], name_re, func_re) -> None:
+        self.checker = checker
+        self.module = module
+        self.func = func
+        self.name_re = name_re
+        self.func_re = func_re
+        self.tainted: Set[str] = set()
+        self.findings: List[Finding] = []
+        func_name = getattr(func, "name", "")
+        self.func_is_cycle_valued = bool(func_name) and bool(
+            func_re.search(func_name)
+        )
+        self.scope_label = func_name or "<module>"
+
+    def run(self, body: Iterable[ast.stmt]) -> List[Finding]:
+        for stmt in body:
+            self._scan(stmt)
+        return self.findings
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _scan(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested scopes are scanned separately
+        if isinstance(node, ast.Assign):
+            self._check_assign(node.targets, node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._check_assign([node.target], node.value)
+        elif isinstance(node, ast.AugAssign):
+            self._check_assign([node.target], node.value, aug=node)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            self._check_return(node)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child)
+        if isinstance(node, ast.Compare):
+            self._check_compare(node)
+        if isinstance(node, ast.Call):
+            self._check_call_kwargs(node)
+
+    # -- sinks -------------------------------------------------------------
+
+    def _emit(self, anchor: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.module.finding(
+                self.checker.id,
+                anchor,
+                f"float-valued expression reaches {what}",
+                hint=_HINT,
+                key=self.scope_label,
+            )
+        )
+
+    def _value_offends(self, value: ast.AST) -> List[ast.AST]:
+        sources = _float_sources(value)
+        if sources:
+            return sources
+        tainted_uses = [
+            n for n in ast.walk(value)
+            if isinstance(n, ast.Name) and n.id in self.tainted
+        ]
+        return tainted_uses
+
+    def _check_assign(self, targets, value, aug: Optional[ast.AugAssign] = None):
+        offending = self._value_offends(value)
+        cycle_targets = [
+            t for t in targets if self.name_re.search(_target_name(t) or "")
+        ]
+        if aug is not None and isinstance(aug.op, ast.Div):
+            for t in targets:
+                if self.name_re.search(_target_name(t) or ""):
+                    self._emit(aug, f"'{_target_name(t)}' via augmented /=")
+                    return
+        if offending and cycle_targets:
+            name = _target_name(cycle_targets[0])
+            self._emit(offending[0], f"cycle-valued assignment to '{name}'")
+            return
+        if offending:
+            # Not a sink: remember the poisoned locals for later sinks.
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    self.tainted.add(t.id)
+        else:
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    self.tainted.discard(t.id)
+
+    def _check_return(self, node: ast.Return) -> None:
+        if not self.func_is_cycle_valued:
+            return
+        offending = self._value_offends(node.value)
+        if offending:
+            self._emit(
+                offending[0],
+                f"the return value of cycle-valued '{self.scope_label}()'",
+            )
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        comparators = [node.left] + list(node.comparators)
+        cycle_named = [
+            c for c in comparators
+            if self.name_re.search(_target_name(c) or "")
+        ]
+        if not cycle_named:
+            return
+        for other in comparators:
+            if other in cycle_named:
+                continue
+            sources = _float_sources(other)
+            if sources:
+                self._emit(sources[0], "a comparison against a cycle value")
+                return
+            used = _names_in(other) & self.tainted
+            if used:
+                self._emit(
+                    other,
+                    f"a comparison against a cycle value (via tainted "
+                    f"'{sorted(used)[0]}')",
+                )
+                return
+
+    def _check_call_kwargs(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg and self.name_re.search(kw.arg):
+                sources = _float_sources(kw.value)
+                if sources:
+                    self._emit(
+                        sources[0], f"cycle-valued argument '{kw.arg}='"
+                    )
+
+
+@register
+class CycleFloatChecker(Checker):
+    id = "RL002"
+    name = "integer-cycle-arithmetic"
+    description = (
+        "flags float division/casts/literals reaching cycle or timing "
+        "expressions in simulated packages"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        packages = module.options.get("packages", _DEFAULT_PACKAGES)
+        if not self.path_in_packages(module.path, packages):
+            return []
+        name_re = re.compile(
+            module.options.get("cycle-name-pattern", _DEFAULT_NAME_PATTERN)
+        )
+        func_re = re.compile(
+            module.options.get("cycle-func-pattern", _DEFAULT_FUNC_PATTERN)
+        )
+        findings: List[Finding] = []
+        findings.extend(
+            _ScopeScanner(self, module, None, name_re, func_re).run(
+                module.tree.body
+            )
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(
+                    _ScopeScanner(self, module, node, name_re, func_re).run(
+                        node.body
+                    )
+                )
+        return findings

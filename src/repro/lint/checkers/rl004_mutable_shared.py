@@ -1,0 +1,133 @@
+"""RL004: mutable defaults and class-level shared mutable state.
+
+Two classic Python hazards that are fatal in a simulator whose whole
+claim is per-run isolation:
+
+* **Mutable default arguments** — ``def f(trace=[])`` shares one list
+  across every call *and every simulated component*, so one run's
+  state leaks into the next and back-to-back experiments stop being
+  independent.  Flagged everywhere, not just in constructors.
+* **Class-attribute mutable literals** — ``class Core: pending = []``
+  shares the list across *instances*; two cores then share one queue,
+  which both corrupts results and couples components the engine
+  assumes are independent.  Flagged for classes that look like
+  components (define ``__init__`` or ``tick``), where the idiom is
+  almost always an error rather than a registry.
+
+``dataclass`` fields use ``field(default_factory=...)`` and are not
+flagged; frozen/annotated constants (``Tuple``, ``frozenset``) are
+immutable and fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, ModuleContext, register
+
+_MUTABLE_CALLS = {"list", "dict", "set", "deque", "defaultdict", "OrderedDict"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else ""
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _has_dataclass_decorator(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        node = deco.func if isinstance(deco, ast.Call) else deco
+        name = (
+            node.id if isinstance(node, ast.Name)
+            else node.attr if isinstance(node, ast.Attribute)
+            else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+@register
+class MutableSharedStateChecker(Checker):
+    id = "RL004"
+    name = "mutable-shared-state"
+    description = (
+        "flags mutable default arguments and class-level mutable literals "
+        "shared across component instances"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_defaults(module, node))
+            elif isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class_attrs(module, node))
+        return findings
+
+    def _check_defaults(self, module: ModuleContext, func) -> List[Finding]:
+        findings = []
+        defaults = list(func.args.defaults) + [
+            d for d in func.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                findings.append(
+                    module.finding(
+                        self.id,
+                        default,
+                        f"mutable default argument in '{func.name}()' is "
+                        "shared across calls (and across simulated "
+                        "components)",
+                        hint="default to None and build the container in "
+                        "the body, or use dataclasses.field(default_factory)",
+                        key=func.name,
+                    )
+                )
+        return findings
+
+    def _check_class_attrs(self, module: ModuleContext, cls: ast.ClassDef):
+        findings = []
+        if _has_dataclass_decorator(cls):
+            return findings  # dataclass machinery rejects these itself
+        methods = {
+            stmt.name
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "__init__" not in methods and "tick" not in methods:
+            return findings
+        for stmt in cls.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if _is_mutable_literal(value):
+                names = ", ".join(
+                    t.id for t in targets if isinstance(t, ast.Name)
+                )
+                findings.append(
+                    module.finding(
+                        self.id,
+                        value,
+                        f"class attribute '{names}' of '{cls.name}' is a "
+                        "mutable literal shared by every instance",
+                        hint="initialise per-instance state in __init__",
+                        key=f"{cls.name}.{names}",
+                    )
+                )
+        return findings

@@ -1,0 +1,96 @@
+"""Finding and severity types shared by every checker.
+
+A :class:`Finding` is one diagnostic: where it is, which checker
+produced it, how bad it is, and (optionally) a *stable key* used for
+baseline suppression.  Keys name a symbol (class, function, or dotted
+call target) rather than a line number, so a baseline entry survives
+unrelated edits to the file.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``ERROR > WARNING``."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}: expected 'warning' or 'error'"
+            ) from None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a checker.
+
+    ``path`` is always project-root-relative with forward slashes so
+    findings (and baseline entries) are portable across machines.
+    """
+
+    checker_id: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+    key: str = ""
+
+    @property
+    def suppression_key(self) -> str:
+        """Identity used by baseline entries: id + path + symbol key."""
+        return f"{self.checker_id}:{self.path}:{self.key or self.line}"
+
+    def as_text(self) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.checker_id} [{self.severity}] {self.message}"
+        )
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "checker": self.checker_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "key": self.key,
+        }
+
+
+def sort_findings(findings):
+    """Stable display order: by file, then line, then checker id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.checker_id))
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    findings: list = field(default_factory=list)
+    pragma_suppressed: int = 0
+    baseline_suppressed: int = 0
+    unused_baseline: list = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if any(f.severity >= Severity.ERROR for f in self.findings) else 0

@@ -1,0 +1,274 @@
+"""The lint driver: walk files, run checkers, filter, render, exit.
+
+Public surface:
+
+* :func:`run` — programmatic entry returning an exit code, used by the
+  ``repro lint`` CLI subcommand.
+* :func:`main` — argparse front end behind ``python -m repro.lint``.
+* :func:`lint_paths` / :func:`lint_source` — library API the test
+  suite drives directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.baseline import Baseline, BaselineFormatError, load_baseline
+from repro.lint.config import LintConfig, find_project_root, load_config
+from repro.lint.findings import Finding, LintResult, Severity, sort_findings
+from repro.lint.pragmas import is_suppressed, parse_pragmas
+from repro.lint.registry import ModuleContext, all_checkers
+
+
+def iter_python_files(paths: Sequence[str], config: LintConfig) -> List[str]:
+    """Expand files/directories into a sorted list of .py files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__", ".git")
+                and not config.is_excluded(_rel_path(
+                    os.path.join(dirpath, d), config.project_root))
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(os.path.join(dirpath, name))
+    return sorted(set(found))
+
+
+def _rel_path(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    return rel.replace(os.sep, "/")
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one module given as text (the unit-test entry point)."""
+    findings, _ = _lint_module(source, rel_path, config, select)
+    return findings
+
+
+def _lint_module(
+    source: str,
+    rel_path: str,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+):
+    """Lint one module; returns (findings, pragma_suppressed_count)."""
+    config = config or LintConfig()
+    selected = {s.upper() for s in select} if select else None
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                checker_id="RL000",
+                severity=Severity.ERROR,
+                path=rel_path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+                key="syntax-error",
+            )
+        ], 0
+    disabled_per_path = set(config.disabled_for_path(rel_path))
+    pragma_map = parse_pragmas(source)
+    findings: List[Finding] = []
+    for checker in all_checkers():
+        if selected is not None and checker.id not in selected:
+            continue
+        if checker.id in disabled_per_path:
+            continue
+        module = ModuleContext(
+            path=rel_path,
+            tree=tree,
+            source=source,
+            options=config.options_for(checker.id),
+            severity=config.severity_for(checker.id, checker.default_severity),
+        )
+        for finding in checker.check_module(module):
+            findings.append(finding)
+    kept = [
+        f for f in findings
+        if not is_suppressed(pragma_map, f.line, f.checker_id)
+    ]
+    return kept, len(findings) - len(kept)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: LintConfig,
+    baseline: Optional[Baseline] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint files/directories and apply the baseline."""
+    result = LintResult()
+    for file_path in iter_python_files(paths, config):
+        rel = _rel_path(file_path, config.project_root)
+        if config.is_excluded(rel):
+            continue
+        with open(file_path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        file_findings, pragma_hits = _lint_module(source, rel, config, select)
+        result.pragma_suppressed += pragma_hits
+        result.files_checked += 1
+        for finding in file_findings:
+            if baseline is not None and baseline.suppresses(finding):
+                result.baseline_suppressed += 1
+            else:
+                result.findings.append(finding)
+    result.findings = sort_findings(result.findings)
+    if baseline is not None:
+        result.unused_baseline = baseline.unused_entries()
+    return result
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def render_text(result: LintResult, out=None) -> None:
+    out = out or sys.stdout
+    for finding in result.findings:
+        print(finding.as_text(), file=out)
+    for entry in result.unused_baseline:
+        print(
+            f"note: unused baseline entry {entry.suppression_key} "
+            f"({(entry.path if not entry.justification else entry.justification)!r})"
+            " — remove it",
+            file=out,
+        )
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} file(s)"
+    )
+    suppressed = result.pragma_suppressed + result.baseline_suppressed
+    if suppressed:
+        summary += (
+            f" ({result.pragma_suppressed} pragma-suppressed, "
+            f"{result.baseline_suppressed} baseline-suppressed)"
+        )
+    print(summary, file=out)
+
+
+def render_json(result: LintResult, out=None) -> None:
+    out = out or sys.stdout
+    payload = {
+        "findings": [f.as_dict() for f in result.findings],
+        "files_checked": result.files_checked,
+        "pragma_suppressed": result.pragma_suppressed,
+        "baseline_suppressed": result.baseline_suppressed,
+        "unused_baseline": [e.suppression_key for e in result.unused_baseline],
+        "exit_code": result.exit_code,
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def build_arg_parser(prog: str = "repro.lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "repro-lint: AST-based invariant checks for simulator "
+            "soundness (determinism, integer cycle math, the next-event "
+            "contract, shared-state hazards)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file (default: from [tool.repro-lint] baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="print the checker catalog and exit",
+    )
+    return parser
+
+
+def run(
+    paths: Sequence[str],
+    output_format: str = "text",
+    baseline_path: Optional[str] = None,
+    no_baseline: bool = False,
+    select: Optional[str] = None,
+    list_checkers: bool = False,
+    out=None,
+) -> int:
+    """Programmatic entry point; returns the process exit code."""
+    out = out or sys.stdout
+    if list_checkers:
+        for checker in all_checkers():
+            print(
+                f"{checker.id}  {checker.name}  [{checker.default_severity}]"
+                f"  {checker.description}",
+                file=out,
+            )
+        return 0
+    anchor = paths[0] if paths else "."
+    root = find_project_root(anchor if os.path.isdir(anchor)
+                             else os.path.dirname(anchor) or ".")
+    config = load_config(root)
+    baseline: Optional[Baseline] = None
+    if not no_baseline:
+        chosen = baseline_path or config.baseline_path
+        if chosen:
+            if not os.path.isabs(chosen):
+                chosen = os.path.join(root, chosen)
+            try:
+                baseline = load_baseline(chosen)
+            except BaselineFormatError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    selected = [s for s in (select or "").split(",") if s.strip()] or None
+    result = lint_paths(paths, config, baseline=baseline, select=selected)
+    if output_format == "json":
+        render_json(result, out)
+    else:
+        render_text(result, out)
+    return result.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing and not args.list_checkers:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    return run(
+        paths=args.paths,
+        output_format=args.format,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        select=args.select,
+        list_checkers=args.list_checkers,
+    )

@@ -1,0 +1,51 @@
+"""The repo must lint clean under its own policy — and stay that way.
+
+This is the executable form of the PR's soundness argument: the
+shipped checkers (determinism, integer cycle math, the next-event
+contract, shared-state hazards) pass over every module in ``src/``
+with only the justified baseline entries absorbing findings.  A
+regression here means a new invariant violation, not a lint bug —
+fix the code or add a *justified* baseline entry, in that order.
+"""
+
+import io
+import pathlib
+
+from repro.lint import lint_paths, load_baseline, load_config
+from repro.lint.runner import run
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_src_lints_clean_with_repo_policy():
+    config = load_config(str(REPO_ROOT))
+    assert config.baseline_path, "repo policy should name a baseline file"
+    baseline = load_baseline(str(REPO_ROOT / config.baseline_path))
+    result = lint_paths([str(REPO_ROOT / "src")], config, baseline=baseline)
+    assert result.findings == [], "\n".join(
+        f.as_text() for f in result.findings
+    )
+    assert result.files_checked > 60  # the whole tree, not a subset
+    assert result.exit_code == 0
+
+
+def test_baseline_has_no_stale_entries():
+    config = load_config(str(REPO_ROOT))
+    baseline = load_baseline(str(REPO_ROOT / config.baseline_path))
+    result = lint_paths([str(REPO_ROOT / "src")], config, baseline=baseline)
+    stale = [e.suppression_key for e in result.unused_baseline]
+    assert stale == [], f"remove stale baseline entries: {stale}"
+
+
+def test_every_baseline_entry_is_justified():
+    config = load_config(str(REPO_ROOT))
+    baseline = load_baseline(str(REPO_ROOT / config.baseline_path))
+    for entry in baseline.entries:
+        assert len(entry.justification) >= 10, entry
+
+
+def test_module_entry_point_is_clean_end_to_end():
+    out = io.StringIO()
+    code = run(paths=[str(REPO_ROOT / "src")], out=out)
+    assert code == 0, out.getvalue()
+    assert "0 finding(s)" in out.getvalue()
