@@ -102,7 +102,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.output:
         args.output.write_text(report)
     else:
-        print(report)
+        print(report, file=sys.stdout)
     return 0
 
 

@@ -34,7 +34,8 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.format import ascii_series, format_distribution, format_table
 from repro.core.bins import BinConfiguration
-from repro.sim.system import RequestShapingPlan
+from repro.obs import ALL_CATEGORIES, ObservabilityConfig
+from repro.sim.system import RequestShapingPlan, ResponseShapingPlan, SystemBuilder
 from repro.workloads.spec import BENCHMARK_NAMES
 
 _EXPERIMENTS = {
@@ -45,6 +46,8 @@ _EXPERIMENTS = {
     "mi": "mutual-information table (section IV-B2)",
     "tradeoff": "security/performance sweep (Figure 2)",
     "calibrate": "measured workload characteristics (trace substitution)",
+    "trace": "run a BDC-shaped mix with event tracing; export Chrome JSON",
+    "stats": "run with metrics sampling and the live shaping monitor",
 }
 
 
@@ -181,6 +184,114 @@ def _cmd_tradeoff(args) -> int:
     return 0
 
 
+def _observed_system(args, obs_config: ObservabilityConfig):
+    """A two-core mix with BDC on core 0 and the obs stack attached.
+
+    The observed workload is the fig11 DESIRED staircase shaping the
+    chosen benchmark against an unshaped co-runner — the canonical
+    setup every observability demo and doc example uses.
+    """
+    from repro.workloads import make_trace
+
+    defaults = _defaults(args)
+    desired = BinConfiguration((10, 9, 8, 7, 6, 5, 4, 3, 2, 1))
+    builder = SystemBuilder(seed=defaults.seed)
+    builder.with_observability(obs_config)
+    builder.add_core(
+        make_trace(args.benchmark, num_accesses=defaults.accesses,
+                   seed=defaults.seed),
+        request_shaping=RequestShapingPlan(config=desired,
+                                           spec=defaults.spec),
+        response_shaping=ResponseShapingPlan(config=desired,
+                                             spec=defaults.spec),
+    )
+    builder.add_core(
+        make_trace(args.corunner, num_accesses=defaults.accesses,
+                   seed=defaults.seed + 1, base_address=1 << 26),
+    )
+    return builder.build(), defaults
+
+
+def _cmd_trace(args) -> int:
+    categories = (
+        tuple(args.categories.split(",")) if args.categories else None
+    )
+    system, defaults = _observed_system(args, ObservabilityConfig(
+        trace=True,
+        trace_limit=args.limit,
+        trace_categories=categories,
+    ))
+    system.run(defaults.cycles, stop_when_done=False, engine=args.engine)
+    tracer = system.observability.tracer
+    tracer.write_chrome(args.out)
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+    print(format_table(
+        ["category", "events"],
+        sorted(tracer.counts.items()),
+    ))
+    print(f"{len(tracer.events)} events retained "
+          f"({tracer.dropped} dropped by the {args.limit}-event ring)")
+    print(f"Chrome trace written to {args.out}"
+          + (f"; JSONL to {args.jsonl}" if args.jsonl else ""))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    system, defaults = _observed_system(args, ObservabilityConfig(
+        sample_interval=args.interval,
+        monitor=True,
+        monitor_interval=max(args.interval, 1024),
+    ))
+    report = system.run(defaults.cycles, stop_when_done=False,
+                        engine=args.engine)
+    obs = system.observability
+
+    print(format_table(
+        ["core", "trace", "retired", "mean_lat", "p95_lat", "fake_req"],
+        [
+            [s.core_id, s.trace_name, s.retired_instructions,
+             round(s.mean_memory_latency(), 1),
+             round(s.latency_percentile(95.0), 1),
+             s.fake_requests_sent]
+            for s in report.cores
+        ],
+    ))
+    print(f"row hit rate: {report.row_hit_rate():.3f}  "
+          f"(hits={report.row_hits}, misses={report.row_misses})")
+
+    sampler = obs.sampler
+    depth = [float(v) for _, v in sampler.series("memctrl.queue_depth")]
+    if depth:
+        print("\nmemctrl queue depth over time "
+              f"(1 sample / {sampler.interval} cycles):")
+        print(ascii_series(depth, width=min(72, len(depth))))
+    tail = sampler.rows()[-args.rows:]
+    if tail:
+        print(format_table(
+            ["cycle", *sampler.probe_names], tail, precision=3
+        ))
+
+    monitor = obs.monitor
+    rows = monitor.summary_rows()
+    if rows:
+        print("\nshaping monitor (latest checkpoint per stream):")
+        print(format_table(
+            ["core", "direction", "events", "tvd_target", "tvd_intrinsic",
+             "mi_bits"],
+            rows,
+        ))
+    if monitor.violations:
+        worst = max(monitor.violations, key=lambda v: v.tvd_target)
+        print(f"{len(monitor.violations)} guarantee violation(s); worst: "
+              f"core {worst.core_id} {worst.direction} "
+              f"TVD={worst.tvd_target:.4f} > {worst.threshold} "
+              f"at cycle {worst.cycle}")
+    else:
+        print("no shaping-guarantee violations")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +330,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("calibrate", help=_EXPERIMENTS["calibrate"])
     p.add_argument("--benchmark", default=None, choices=BENCHMARK_NAMES)
+
+    p = sub.add_parser("trace", help=_EXPERIMENTS["trace"])
+    p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
+    p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
+    p.add_argument("--engine", default="cycle",
+                   choices=("cycle", "next_event"))
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="also export line-delimited JSON")
+    p.add_argument("--limit", type=int, default=65536,
+                   help="event ring capacity")
+    p.add_argument("--categories", default=None,
+                   help="comma-separated subset of "
+                        + ",".join(ALL_CATEGORIES))
+
+    p = sub.add_parser("stats", help=_EXPERIMENTS["stats"])
+    p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
+    p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
+    p.add_argument("--engine", default="cycle",
+                   choices=("cycle", "next_event"))
+    p.add_argument("--interval", type=int, default=1024,
+                   help="cycles between metric samples")
+    p.add_argument("--rows", type=int, default=8,
+                   help="sampled rows to print (tail)")
 
     p = sub.add_parser(
         "lint",
@@ -262,6 +398,8 @@ _HANDLERS = {
     "mi": _cmd_mi,
     "tradeoff": _cmd_tradeoff,
     "calibrate": _cmd_calibrate,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 

@@ -36,6 +36,8 @@ from repro.common.rng import DeterministicRng
 from repro.core.distribution import InterArrivalHistogram
 from repro.memctrl.transaction import MemoryTransaction, TransactionType
 from repro.noc.link import SharedLink
+from repro.obs.events import CATEGORY_SHAPER
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -201,6 +203,11 @@ class EpochRateShaper:
         self._pressure_this_epoch = False
         self._real_slots_this_epoch = 0
         self._fake_slots_this_epoch = 0
+        self.tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire the event tracer in (builder-time, never mid-run)."""
+        self.tracer = tracer
 
     # -- core-facing interface ------------------------------------------
 
@@ -248,6 +255,12 @@ class EpochRateShaper:
             self._next_slot = max(
                 self._next_slot, cycle + self.controller.current_interval
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.epoch_boundary",
+                    core_id=self.core_id, direction="request",
+                    interval=self.controller.current_interval,
+                )
         if len(self._buffer) > 1:
             # More than one waiter means the rate is holding the
             # program back — escalate at the next boundary.
@@ -260,11 +273,23 @@ class EpochRateShaper:
             self.link.inject(self.port, txn)
             self.real_sent += 1
             self._real_slots_this_epoch += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.real_release",
+                    core_id=self.core_id, direction="request",
+                    queued=len(self._buffer),
+                )
         else:
             fake = self._make_fake(cycle)
             self.link.inject(self.port, fake)
             self.fake_sent += 1
             self._fake_slots_this_epoch += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.fake_inject",
+                    core_id=self.core_id, direction="request",
+                    address=fake.address,
+                )
         self.shaped_histogram.record(cycle)
         self._next_slot = cycle + self.controller.current_interval
 

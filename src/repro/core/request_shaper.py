@@ -22,6 +22,7 @@ from repro.core.distribution import InterArrivalHistogram
 from repro.core.shaper import BinShaper
 from repro.memctrl.transaction import MemoryTransaction, TransactionType
 from repro.noc.link import SharedLink
+from repro.obs.events import CATEGORY_SHAPER
 
 
 class RequestCamouflage:
@@ -136,20 +137,32 @@ class RequestCamouflage:
             return
         if self._buffer and self.shaper.can_release_real(cycle):
             txn = self._buffer.popleft()
-            self.shaper.release_real(cycle)
+            bin_index = self.shaper.release_real(cycle)
             txn.shaper_release_cycle = cycle
             self.link.inject(self.port, txn)
             self.shaped_histogram.record(cycle)
             self.real_sent += 1
+            if self.shaper.tracer.enabled:
+                self.shaper.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.real_release",
+                    core_id=self.core_id, direction="request",
+                    bin=bin_index, queued=len(self._buffer),
+                )
             return
         if self._buffer:
             self.stall_cycles += 1
         if self.generate_fake and self.shaper.can_release_fake(cycle):
-            self.shaper.release_fake(cycle)
+            bin_index = self.shaper.release_fake(cycle)
             fake = self._make_fake(cycle)
             self.link.inject(self.port, fake)
             self.shaped_histogram.record(cycle)
             self.fake_sent += 1
+            if self.shaper.tracer.enabled:
+                self.shaper.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.fake_inject",
+                    core_id=self.core_id, direction="request",
+                    bin=bin_index, address=fake.address,
+                )
 
     def _make_fake(self, cycle: int) -> MemoryTransaction:
         """A non-cached read to a random line-aligned address."""

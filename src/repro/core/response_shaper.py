@@ -28,6 +28,7 @@ from repro.core.shaper import BinShaper
 from repro.memctrl.schedulers import PriorityFrFcfsScheduler
 from repro.memctrl.transaction import MemoryTransaction, TransactionType
 from repro.noc.link import SharedLink
+from repro.obs.events import CATEGORY_SHAPER
 
 
 class ResponseCamouflage:
@@ -129,18 +130,24 @@ class ResponseCamouflage:
             return
         if self._queue and self.shaper.can_release_real(cycle):
             txn = self._queue.popleft()
-            self.shaper.release_real(cycle)
+            bin_index = self.shaper.release_real(cycle)
             txn.response_release_cycle = cycle
             self.link.inject(self.port, txn)
             self.shaped_histogram.record(cycle)
             self.real_sent += 1
+            if self.shaper.tracer.enabled:
+                self.shaper.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.real_release",
+                    core_id=self.core_id, direction="response",
+                    bin=bin_index, queued=len(self._queue),
+                )
             return
         if (
             self.generate_fake
             and not self._queue
             and self.shaper.can_release_fake(cycle)
         ):
-            self.shaper.release_fake(cycle)
+            bin_index = self.shaper.release_fake(cycle)
             fake = MemoryTransaction(
                 core_id=self.core_id,
                 address=0,
@@ -151,6 +158,12 @@ class ResponseCamouflage:
             self.link.inject(self.port, fake)
             self.shaped_histogram.record(cycle)
             self.fake_sent += 1
+            if self.shaper.tracer.enabled:
+                self.shaper.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.fake_inject",
+                    core_id=self.core_id, direction="response",
+                    bin=bin_index,
+                )
 
     def _maybe_warn(self) -> None:
         """Replenishment hook: ask for priority if the MC is too slow.
@@ -172,6 +185,17 @@ class ResponseCamouflage:
             self.scheduler.set_boost(self.core_id, unused)
             self.warnings_sent += 1
             self.boost_credits_granted += unused
+            if self.shaper.tracer.enabled:
+                # Stamped with the boundary the warning belongs to (the
+                # most recent one processed), so late boundary catch-up
+                # under the next-event engine traces identically.
+                self.shaper.tracer.emit(
+                    self.shaper.next_replenish_cycle
+                    - self.shaper.spec.replenish_period,
+                    CATEGORY_SHAPER, "shaper.priority_warning",
+                    core_id=self.core_id, direction="response",
+                    unused=unused,
+                )
 
 
 class PassthroughResponsePath:

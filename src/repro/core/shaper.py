@@ -39,6 +39,8 @@ from typing import List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.core.bins import BinConfiguration, BinSpec
+from repro.obs.events import CATEGORY_SHAPER, SYSTEM_CORE
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -101,6 +103,18 @@ class BinShaper:
         self.replenishments = 0
         self.last_unused_snapshot: Tuple[int, ...] = tuple([0] * spec.num_bins)
 
+        # Observability: inert by default; the system builder attaches
+        # a live tracer (and the core/direction labels) when enabled.
+        self.tracer = NULL_TRACER
+        self.trace_core = SYSTEM_CORE
+        self.trace_direction = ""
+
+    def attach_tracer(self, tracer, core_id: int, direction: str) -> None:
+        """Wire the event tracer in (builder-time, never mid-run)."""
+        self.tracer = tracer
+        self.trace_core = core_id
+        self.trace_direction = direction
+
     # -- configuration -----------------------------------------------------
 
     @property
@@ -144,6 +158,17 @@ class BinShaper:
             # not delay (or raise against) a release whose bin was just
             # reloaded: the hardware latch resets with the registers.
             self._jitter_hold_until = None
+            if self.tracer.enabled:
+                # Stamped with the nominal boundary, not the tick that
+                # processed it: a next-event skip may land several
+                # boundaries late, and the event stream must not show it.
+                self.tracer.emit(
+                    self._next_replenish, CATEGORY_SHAPER, "shaper.replenish",
+                    core_id=self.trace_core,
+                    direction=self.trace_direction,
+                    unused=sum(self._unused),
+                    credits=sum(self._credits),
+                )
             self._next_replenish += self.spec.replenish_period
             self.replenishments += 1
             boundaries += 1
@@ -208,6 +233,14 @@ class BinShaper:
             self._jitter_hold_until = cycle + self._jitter_rng.randint(
                 0, max(0, width - 1)
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    cycle, CATEGORY_SHAPER, "shaper.jitter_hold",
+                    core_id=self.trace_core,
+                    direction=self.trace_direction,
+                    hold_until=self._jitter_hold_until,
+                    bin=bin_index,
+                )
         return cycle >= self._jitter_hold_until
 
     def can_release_fake(self, cycle: int) -> bool:

@@ -27,6 +27,8 @@ from repro.dram.channel import Channel
 from repro.dram.commands import CommandType, DramCommand
 from repro.dram.organization import DramOrganization
 from repro.dram.timing import DramTiming
+from repro.obs.events import CATEGORY_DRAM
+from repro.obs.tracer import NULL_TRACER
 
 
 class DramSystem:
@@ -49,6 +51,7 @@ class DramSystem:
             for _ in range(self.organization.channels)
         ]
         self._enable_refresh = enable_refresh
+        self.tracer = NULL_TRACER
         # Next refresh deadline per (channel, rank).
         self._refresh_deadline = {
             (c, r): self.timing.tREFI
@@ -154,6 +157,13 @@ class DramSystem:
         """
         a = command.address
         channel = self.channels[a.channel]
+        if self.tracer.enabled:
+            # Every DRAM command the controller issues funnels through
+            # here, so this one hook covers ACT/PRE/RD/WR/REF.
+            self.tracer.emit(
+                cycle, CATEGORY_DRAM, f"dram.{command.kind.value}",
+                channel=a.channel, rank=a.rank, bank=a.bank, row=a.row,
+            )
         if command.kind is CommandType.ACTIVATE:
             channel.activate(a.rank, a.bank, a.row, cycle)
             return None

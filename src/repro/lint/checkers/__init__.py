@@ -4,10 +4,12 @@ from repro.lint.checkers.rl001_determinism import DeterminismChecker
 from repro.lint.checkers.rl002_cycle_float import CycleFloatChecker
 from repro.lint.checkers.rl003_next_event import NextEventContractChecker
 from repro.lint.checkers.rl004_mutable_shared import MutableSharedStateChecker
+from repro.lint.checkers.rl005_bare_print import BarePrintChecker
 
 __all__ = [
     "DeterminismChecker",
     "CycleFloatChecker",
     "NextEventContractChecker",
     "MutableSharedStateChecker",
+    "BarePrintChecker",
 ]

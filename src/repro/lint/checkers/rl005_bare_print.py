@@ -1,0 +1,69 @@
+"""RL005: no bare ``print()`` in library code.
+
+The simulator is a library first: experiments, tests, and the CI
+harness all import it and parse what *they* choose to emit.  A bare
+``print(...)`` inside library modules writes to whatever stdout
+happens to be at call time — it interleaves with CLI output, corrupts
+machine-read report streams, and (worst) can differ between runs that
+must produce bit-identical artifacts.  Observability belongs in
+:mod:`repro.obs`; human-facing text belongs in the CLI layer.
+
+A ``print`` call is *bare* when it has no explicit ``file=`` keyword.
+Passing ``file=`` (even ``file=sys.stdout``) states the intent and is
+allowed — that is how the lint runner and the report generator direct
+their own output.  Files named ``__main__.py`` are script entry
+points, not library code, and are exempt automatically; further
+command-line front-ends are listed in ``allow-paths``
+(``repro/cli.py`` by default).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, ModuleContext, register
+
+_DEFAULT_ALLOW_PATHS = ["repro/cli.py"]
+
+_HINT = (
+    "library code must not write to stdout implicitly: pass an explicit "
+    "file= target, return the text to the caller, or move the output "
+    "into the CLI layer"
+)
+
+
+def _is_bare_print(node: ast.Call) -> bool:
+    if not (isinstance(node.func, ast.Name) and node.func.id == "print"):
+        return False
+    return not any(kw.arg == "file" for kw in node.keywords)
+
+
+@register
+class BarePrintChecker(Checker):
+    id = "RL005"
+    name = "no-bare-print"
+    description = (
+        "flags print() calls without an explicit file= in library "
+        "modules (CLI front-ends and __main__.py are exempt)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if module.path.endswith("/__main__.py") or module.path == "__main__.py":
+            return []
+        allow = module.options.get("allow-paths", _DEFAULT_ALLOW_PATHS)
+        if self.path_matches(module.path, allow):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_bare_print(node):
+                findings.append(
+                    module.finding(
+                        self.id,
+                        node,
+                        "bare print() in library code",
+                        hint=_HINT,
+                    )
+                )
+        return findings

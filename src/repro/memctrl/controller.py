@@ -31,6 +31,8 @@ from repro.memctrl.queue import TransactionQueue
 from repro.memctrl.schedulers import FrFcfsScheduler, Scheduler
 from repro.memctrl.transaction import MemoryTransaction, TransactionType
 from repro.memctrl.write_queue import WriteQueue, WriteQueuePolicy
+from repro.obs.events import CATEGORY_MEMCTRL
+from repro.obs.tracer import NULL_TRACER
 
 
 class MemoryController:
@@ -101,6 +103,7 @@ class MemoryController:
             raise ConfigurationError(f"unknown page policy {page_policy!r}")
         self._page_policy = page_policy
         self._dummy_rng = DeterministicRng(0xF5)
+        self.tracer = NULL_TRACER
         # Statistics.
         self.issued_reads = 0
         self.issued_writes = 0
@@ -135,6 +138,13 @@ class MemoryController:
             self.write_queue.push(txn)
         else:
             self.queue.push(txn)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                cycle, CATEGORY_MEMCTRL, "memctrl.enqueue",
+                core_id=txn.core_id,
+                kind=txn.kind.name,
+                queue_depth=len(self.queue),
+            )
 
     # -- egress --------------------------------------------------------------
 
@@ -266,7 +276,17 @@ class MemoryController:
                     if target.can_precharge(cycle) and self.dram.channels[
                         channel
                     ].command_bus_free(cycle):
-                        self.dram.channels[channel].precharge(rank, bank, cycle)
+                        # Routed through DramSystem.issue (not the
+                        # channel directly) so the PRE is traced like
+                        # every other command.
+                        pre = DramCommand(
+                            CommandType.PRECHARGE,
+                            DecodedAddress(
+                                channel=channel, rank=rank, bank=bank,
+                                row=0, column=0,
+                            ),
+                        )
+                        self.dram.issue(pre, cycle)
                         break
                 continue
             ref = DramCommand(
@@ -352,6 +372,14 @@ class MemoryController:
             else:
                 self.issued_reads += 1
             self.scheduler.on_issue(txn, cycle)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    cycle, CATEGORY_MEMCTRL, "memctrl.issue",
+                    core_id=txn.core_id,
+                    kind=txn.kind.name,
+                    row_hit=txn.was_row_hit,
+                    queue_depth=len(self.queue),
+                )
         else:
             txn.was_row_hit = False
             self.dram.issue(command, cycle)

@@ -18,6 +18,9 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.memctrl.transaction import MemoryTransaction
+from repro.obs.events import CATEGORY_NOC
+from repro.obs.ring import make_trace_buffer
+from repro.obs.tracer import NULL_TRACER
 
 
 class LinkPort:
@@ -94,11 +97,17 @@ class SharedLink:
         # (grant_cycle, port, transaction).
         self.grant_trace = self._new_trace()
         self.total_grants = 0
+        self.tracer = NULL_TRACER
+        self.trace_label = ""
 
     def _new_trace(self):
-        if self.trace_limit is None:
-            return []
-        return deque(maxlen=self.trace_limit)
+        return make_trace_buffer(self.trace_limit)
+
+    def attach_tracer(self, tracer, label: str) -> None:
+        """Wire the event tracer in; ``label`` names the channel
+        direction ("request"/"response") on emitted grants."""
+        self.tracer = tracer
+        self.trace_label = label
 
     # -- producer side -------------------------------------------------
 
@@ -139,6 +148,14 @@ class SharedLink:
                 self.grant_trace.append((cycle, port.port_id, txn))
                 self.total_grants += 1
                 self._rr_next = (port.port_id + 1) % n
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        cycle, CATEGORY_NOC, "noc.grant",
+                        core_id=txn.core_id,
+                        channel=self.trace_label,
+                        port=port.port_id,
+                        kind=txn.kind.name,
+                    )
                 return
 
     def pop_arrivals(self, cycle: int) -> List[MemoryTransaction]:

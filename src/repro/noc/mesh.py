@@ -31,6 +31,9 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.memctrl.transaction import MemoryTransaction
+from repro.obs.events import CATEGORY_NOC
+from repro.obs.ring import make_trace_buffer
+from repro.obs.tracer import NULL_TRACER
 
 #: Router port names: four neighbours plus the local inject/eject port.
 _DIRECTIONS = ("N", "S", "E", "W", "L")
@@ -151,11 +154,17 @@ class MeshNetwork:
         self.total_grants = 0
         self.total_hops = 0
         self._in_flight = 0
+        self.tracer = NULL_TRACER
+        self.trace_label = ""
 
     def _new_trace(self):
-        if self.trace_limit is None:
-            return []
-        return deque(maxlen=self.trace_limit)
+        return make_trace_buffer(self.trace_limit)
+
+    def attach_tracer(self, tracer, label: str) -> None:
+        """Wire the event tracer in; ``label`` names the channel
+        direction ("request"/"response") on emitted grants."""
+        self.tracer = tracer
+        self.trace_label = label
 
     # -- geometry -----------------------------------------------------------
 
@@ -282,6 +291,14 @@ class MeshNetwork:
                 self._arrivals.append(txn)
                 self.grant_trace.append((cycle, txn.core_id, txn))
                 self.total_grants += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        cycle, CATEGORY_NOC, "noc.grant",
+                        core_id=txn.core_id,
+                        channel=self.trace_label,
+                        node=router.node,
+                        kind=txn.kind.name,
+                    )
             else:
                 neighbor = self.routers[self._neighbor(router.node, out_dir)]
                 neighbor.push(self._opposite(out_dir), flit)

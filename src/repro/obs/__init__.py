@@ -1,0 +1,68 @@
+"""Deterministic observability for the simulator stack.
+
+``repro.obs`` provides three disabled-by-default facilities, all
+stamped in simulation cycles (never wall clock) so their output is a
+pure function of the run configuration:
+
+* an event **tracer** (:class:`~repro.obs.tracer.EventTracer`) with
+  ring-buffered storage and Chrome-trace / JSONL exporters, covering
+  shaper credit activity, memory-controller scheduling, DRAM commands,
+  and NoC grants;
+* a **metrics** registry plus interval sampler
+  (:mod:`repro.obs.metrics`) producing time-series that are identical
+  under the per-cycle and next-event engines;
+* a live **shaping monitor** (:class:`~repro.obs.monitor.ShapingMonitor`)
+  computing running TVD/MI between intrinsic and shaped streams and
+  flagging guarantee violations mid-run.
+
+Attach them to a system with
+:meth:`repro.sim.system.SystemBuilder.with_observability`.
+"""
+
+from repro.obs.events import (
+    ALL_CATEGORIES,
+    CATEGORY_DRAM,
+    CATEGORY_MEMCTRL,
+    CATEGORY_MONITOR,
+    CATEGORY_NOC,
+    CATEGORY_SHAPER,
+    SYSTEM_CORE,
+    TraceEvent,
+)
+from repro.obs.hub import Observability, ObservabilityConfig
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    IntervalSampler,
+    MetricsRegistry,
+)
+from repro.obs.monitor import MonitorSample, ShapingMonitor, ShapingViolation
+from repro.obs.ring import RingBuffer, make_trace_buffer
+from repro.obs.tracer import NULL_TRACER, EventTracer, NullTracer
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "CATEGORY_DRAM",
+    "CATEGORY_MEMCTRL",
+    "CATEGORY_MONITOR",
+    "CATEGORY_NOC",
+    "CATEGORY_SHAPER",
+    "SYSTEM_CORE",
+    "TraceEvent",
+    "Observability",
+    "ObservabilityConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IntervalSampler",
+    "MetricsRegistry",
+    "MonitorSample",
+    "ShapingMonitor",
+    "ShapingViolation",
+    "RingBuffer",
+    "make_trace_buffer",
+    "NULL_TRACER",
+    "EventTracer",
+    "NullTracer",
+]

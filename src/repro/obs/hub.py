@@ -1,0 +1,151 @@
+"""The observability hub: configuration and per-system wiring root.
+
+One :class:`Observability` instance is attached to one
+:class:`~repro.sim.system.System` by
+:meth:`~repro.sim.system.SystemBuilder.with_observability`.  It owns
+the event tracer, the metrics registry + interval sampler, and the
+live shaping monitor; the builder hands its tracer to every
+instrumented component and registers the default probe set.
+
+Everything is disabled by default: a system built without
+``with_observability`` carries no hub at all, components keep the
+shared :data:`~repro.obs.tracer.NULL_TRACER`, and the run loop skips
+the sampling hooks entirely — reports stay bit-identical to an
+uninstrumented build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.obs.events import ALL_CATEGORIES
+from repro.obs.metrics import IntervalSampler, MetricsRegistry
+from repro.obs.monitor import ShapingMonitor
+from repro.obs.tracer import NULL_TRACER, EventTracer
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What to observe, and how much memory to spend on it.
+
+    ``trace`` enables the event tracer (``trace_categories=None``
+    records everything; otherwise a subset of
+    :data:`~repro.obs.events.ALL_CATEGORIES`).  ``sample_interval``
+    enables the metrics time-series at that cycle period.  ``monitor``
+    enables the live shaping monitor.  ``noc_grant_trace_limit``
+    bounds the NoC channels' adversary-visible grant traces — the
+    observability-owned successor of the deprecated
+    ``with_noc(trace_limit=...)`` knob.
+    """
+
+    trace: bool = False
+    trace_limit: int = 65536
+    trace_categories: Optional[Tuple[str, ...]] = None
+    sample_interval: Optional[int] = None
+    sample_limit: Optional[int] = None
+    monitor: bool = False
+    monitor_interval: int = 2048
+    monitor_tvd_threshold: float = 0.25
+    monitor_min_events: int = 32
+    monitor_mi_window: int = 4096
+    noc_grant_trace_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trace_limit <= 0:
+            raise ConfigurationError("trace_limit must be positive")
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ConfigurationError("sample_interval must be positive")
+        if (
+            self.noc_grant_trace_limit is not None
+            and self.noc_grant_trace_limit <= 0
+        ):
+            raise ConfigurationError("noc_grant_trace_limit must be positive")
+        if self.trace_categories is not None:
+            unknown = set(self.trace_categories) - set(ALL_CATEGORIES)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown trace categories: {sorted(unknown)}"
+                )
+
+
+class Observability:
+    """Tracer + metrics + monitor bundle for one system."""
+
+    def __init__(self, config: Optional[ObservabilityConfig] = None) -> None:
+        self.config = config or ObservabilityConfig()
+        self.tracer = (
+            EventTracer(
+                limit=self.config.trace_limit,
+                categories=self.config.trace_categories,
+            )
+            if self.config.trace
+            else NULL_TRACER
+        )
+        self.metrics = MetricsRegistry()
+        self.sampler: Optional[IntervalSampler] = (
+            IntervalSampler(
+                self.config.sample_interval, limit=self.config.sample_limit
+            )
+            if self.config.sample_interval is not None
+            else None
+        )
+        self.monitor: Optional[ShapingMonitor] = (
+            ShapingMonitor(
+                interval=self.config.monitor_interval,
+                tvd_threshold=self.config.monitor_tvd_threshold,
+                min_events=self.config.monitor_min_events,
+                mi_window=self.config.monitor_mi_window,
+                tracer=self.tracer,
+            )
+            if self.config.monitor
+            else None
+        )
+
+    @property
+    def has_cycle_hooks(self) -> bool:
+        """Does the run loop need to call the per-tick hooks at all?"""
+        return self.sampler is not None or self.monitor is not None
+
+    # -- run-loop hooks (called by System) ---------------------------------
+
+    def on_cycle_end(self, cycle: int) -> None:
+        """End of the tick that ran at ``cycle``."""
+        if self.sampler is not None:
+            self.sampler.advance(cycle)
+        if self.monitor is not None:
+            self.monitor.advance(cycle)
+
+    def on_skip(self, up_to_cycle: int) -> None:
+        """A next-event skip is landing; fill boundaries ≤ ``up_to_cycle``."""
+        if self.sampler is not None:
+            self.sampler.fill(up_to_cycle)
+        if self.monitor is not None:
+            self.monitor.fill(up_to_cycle)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Counts-and-state snapshot (for the trace/stats CLIs)."""
+        out: Dict[str, Any] = {"metrics": self.metrics.as_dict()}
+        if isinstance(self.tracer, EventTracer):
+            out["trace"] = {
+                "events_retained": len(self.tracer.events),
+                "events_emitted": self.tracer.total_emitted,
+                "dropped": self.tracer.dropped,
+                "category_counts": dict(self.tracer.counts),
+            }
+        if self.sampler is not None:
+            out["samples"] = {
+                "count": len(self.sampler.samples),
+                "interval": self.sampler.interval,
+                "probes": self.sampler.probe_names,
+                "dropped": self.sampler.dropped,
+            }
+        if self.monitor is not None:
+            out["monitor"] = {
+                "checkpoints": len(self.monitor.history),
+                "violations": len(self.monitor.violations),
+            }
+        return out

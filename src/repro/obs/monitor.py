@@ -1,0 +1,253 @@
+"""Live shaping monitor: running TVD/MI over the shaped streams.
+
+The paper's guarantee is distributional: the post-shaper stream must
+follow the configured bin distribution regardless of what the program
+does.  End-of-run aggregates can hide a mid-run excursion (a window
+where the shaper tracked the intrinsic stream and leaked); this
+monitor evaluates the guarantee *while the run is going*, at fixed
+cycle checkpoints, from the same intrinsic/shaped inter-arrival
+histograms the shapers already maintain:
+
+* ``tvd_target`` — total-variation distance between the shaped
+  distribution and the configured target.  This is the guarantee
+  itself: once enough releases have been observed, a value above the
+  threshold is flagged as a :class:`ShapingViolation`.
+* ``tvd_intrinsic`` — TVD between intrinsic and shaped distributions
+  (how much work the shaper is doing; ~0 means the shaped stream just
+  mirrors the program).
+* ``mi_bits`` — plug-in mutual information between the paired
+  intrinsic and shaped inter-arrival bin sequences over a sliding
+  window (the section IV-B leakage estimate, evaluated online).
+
+Checkpoints use the same advance/fill discipline as the interval
+sampler, so the history and violation stream are identical under the
+per-cycle and next-event engines (histograms only change inside
+``tick``, never across a skipped span).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.obs.events import CATEGORY_MONITOR
+from repro.obs.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # import-leaf discipline: repro.obs must not pull
+    # the simulator stack in at import time (components import the
+    # tracer, and cycles would follow); heavyweight deps load lazily.
+    from repro.core.distribution import InterArrivalHistogram
+
+
+@dataclass(frozen=True)
+class ShapingViolation:
+    """One checkpoint at which a shaped stream broke its guarantee."""
+
+    cycle: int
+    core_id: int
+    direction: str
+    tvd_target: float
+    threshold: float
+    events_observed: int
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One checkpoint's estimates for one monitored stream."""
+
+    cycle: int
+    core_id: int
+    direction: str
+    events_observed: int
+    tvd_target: Optional[float]
+    tvd_intrinsic: float
+    mi_bits: float
+
+
+class _WatchedStream:
+    """One (core, direction) pair under observation."""
+
+    __slots__ = ("core_id", "direction", "intrinsic", "shaped", "target")
+
+    def __init__(
+        self,
+        core_id: int,
+        direction: str,
+        intrinsic: "InterArrivalHistogram",
+        shaped: "InterArrivalHistogram",
+        target: Optional[Tuple[float, ...]],
+    ) -> None:
+        self.core_id = core_id
+        self.direction = direction
+        self.intrinsic = intrinsic
+        self.shaped = shaped
+        self.target = target
+
+
+class ShapingMonitor:
+    """Periodic TVD/MI checkpoints with mid-run violation flagging."""
+
+    def __init__(
+        self,
+        interval: int = 2048,
+        tvd_threshold: float = 0.25,
+        min_events: int = 32,
+        mi_window: int = 4096,
+        tracer=NULL_TRACER,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError("monitor interval must be positive")
+        if not 0.0 <= tvd_threshold <= 1.0:
+            raise ConfigurationError("tvd_threshold must be in [0, 1]")
+        if min_events < 1:
+            raise ConfigurationError("min_events must be at least 1")
+        if mi_window < 2:
+            raise ConfigurationError("mi_window must be at least 2")
+        self.interval = interval
+        self.tvd_threshold = tvd_threshold
+        self.min_events = min_events
+        self.mi_window = mi_window
+        self.tracer = tracer
+        self._next = interval
+        self._streams: List[_WatchedStream] = []
+        self.history: List[MonitorSample] = []
+        self.violations: List[ShapingViolation] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def watch(
+        self,
+        core_id: int,
+        direction: str,
+        intrinsic: "InterArrivalHistogram",
+        shaped: "InterArrivalHistogram",
+        target_frequencies: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Observe one stream pair; ``target_frequencies`` (normalized,
+        one per bin) enables guarantee checking against the configured
+        distribution."""
+        target: Optional[Tuple[float, ...]] = None
+        if target_frequencies is not None:
+            target = tuple(target_frequencies)
+            if len(target) != shaped.spec.num_bins:
+                raise ConfigurationError(
+                    "target distribution has wrong number of bins"
+                )
+        self._streams.append(
+            _WatchedStream(core_id, direction, intrinsic, shaped, target)
+        )
+
+    @property
+    def watched_count(self) -> int:
+        return len(self._streams)
+
+    @property
+    def next_check_cycle(self) -> int:
+        return self._next
+
+    # -- checkpointing -----------------------------------------------------
+
+    def advance(self, cycle: int) -> None:
+        """Run any checkpoints reached by the tick at ``cycle``."""
+        while cycle >= self._next:
+            self._check(self._next)
+            self._next += self.interval
+
+    def fill(self, up_to_cycle: int) -> None:
+        """Checkpoints inside a skipped span (state is frozen, so the
+        current histograms are exact at every boundary)."""
+        while self._next <= up_to_cycle:
+            self._check(self._next)
+            self._next += self.interval
+
+    def _check(self, stamp: int) -> None:
+        for stream in self._streams:
+            shaped = stream.shaped
+            observed = shaped.total
+            tvd_intrinsic = stream.intrinsic.total_variation_distance(shaped)
+            mi = self._windowed_mi(stream)
+            tvd_target: Optional[float] = None
+            if stream.target is not None:
+                tvd_target = 0.5 * sum(
+                    abs(a - b)
+                    for a, b in zip(shaped.frequencies(), stream.target)
+                )
+            self.history.append(
+                MonitorSample(
+                    cycle=stamp,
+                    core_id=stream.core_id,
+                    direction=stream.direction,
+                    events_observed=observed,
+                    tvd_target=tvd_target,
+                    tvd_intrinsic=tvd_intrinsic,
+                    mi_bits=mi,
+                )
+            )
+            if (
+                tvd_target is not None
+                and observed >= self.min_events
+                and tvd_target > self.tvd_threshold
+            ):
+                violation = ShapingViolation(
+                    cycle=stamp,
+                    core_id=stream.core_id,
+                    direction=stream.direction,
+                    tvd_target=tvd_target,
+                    threshold=self.tvd_threshold,
+                    events_observed=observed,
+                )
+                self.violations.append(violation)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        stamp, CATEGORY_MONITOR, "monitor.violation",
+                        core_id=stream.core_id,
+                        direction=stream.direction,
+                        tvd_target=round(tvd_target, 6),
+                        threshold=self.tvd_threshold,
+                        events=observed,
+                    )
+
+    def _windowed_mi(self, stream: _WatchedStream) -> float:
+        """Plug-in MI over the last ``mi_window`` paired releases."""
+        from repro.security.mutual_information import mutual_information_bits
+
+        intrinsic_gaps = stream.intrinsic.gaps
+        shaped_gaps = stream.shaped.gaps
+        paired = min(len(intrinsic_gaps), len(shaped_gaps))
+        if paired < 2:
+            return 0.0
+        start = max(0, paired - self.mi_window)
+        spec = stream.shaped.spec
+        x = [spec.bin_of(g) for g in intrinsic_gaps[start:paired]]
+        y = [spec.bin_of(g) for g in shaped_gaps[start:paired]]
+        return mutual_information_bits(x, y)
+
+    # -- reporting -----------------------------------------------------------
+
+    def latest(
+        self, core_id: int, direction: str
+    ) -> Optional[MonitorSample]:
+        """The most recent checkpoint for one stream, if any."""
+        for sample in reversed(self.history):
+            if sample.core_id == core_id and sample.direction == direction:
+                return sample
+        return None
+
+    def summary_rows(self) -> List[List[object]]:
+        """Latest checkpoint per stream (for the stats CLI)."""
+        rows: List[List[object]] = []
+        for stream in self._streams:
+            sample = self.latest(stream.core_id, stream.direction)
+            if sample is None:
+                continue
+            rows.append([
+                sample.core_id,
+                sample.direction,
+                sample.events_observed,
+                "-" if sample.tvd_target is None
+                else f"{sample.tvd_target:.4f}",
+                f"{sample.tvd_intrinsic:.4f}",
+                f"{sample.mi_bits:.4f}",
+            ])
+        return rows

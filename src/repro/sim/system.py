@@ -19,6 +19,7 @@ Shaping is attached per core: ``request_shaping=`` for ReqC,
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence
@@ -48,6 +49,7 @@ from repro.memctrl.schedulers import (
 from repro.memctrl.transaction import MemoryTransaction, TransactionType
 from repro.noc.link import SharedLink
 from repro.noc.mesh import MeshNetwork
+from repro.obs.hub import Observability, ObservabilityConfig
 from repro.sim.stats import CoreStats, SystemReport
 
 
@@ -117,6 +119,7 @@ class SystemBuilder:
         self._noc_port_capacity = 16
         self._noc_topology = "shared"
         self._noc_trace_limit: Optional[int] = None
+        self._obs_config: Optional[ObservabilityConfig] = None
         self._queue_capacity = 32
         self._page_policy = "open"
         self._write_queue_policy = None
@@ -188,15 +191,51 @@ class SystemBuilder:
         ``grant_trace`` to the most recent N grants (default ``None``
         keeps the full trace, which the security benchmarks need but
         grows without bound on long performance runs).
+
+        .. deprecated::
+            ``trace_limit`` moved to the observability layer; prefer
+            ``with_observability(noc_grant_trace_limit=N)``.  The kwarg
+            keeps working as a shim with identical semantics (the
+            observability setting wins when both are given).
         """
         if topology not in ("shared", "mesh"):
             raise ConfigurationError(f"unknown NoC topology {topology!r}")
         if trace_limit is not None and trace_limit <= 0:
             raise ConfigurationError("trace_limit must be positive")
+        if trace_limit is not None:
+            warnings.warn(
+                "with_noc(trace_limit=...) is deprecated; use "
+                "with_observability(noc_grant_trace_limit=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self._noc_latency = latency
         self._noc_port_capacity = port_capacity
         self._noc_topology = topology
         self._noc_trace_limit = trace_limit
+        return self
+
+    def with_observability(
+        self,
+        config: Optional[ObservabilityConfig] = None,
+        **kwargs,
+    ) -> "SystemBuilder":
+        """Attach the :mod:`repro.obs` stack to the built system.
+
+        Pass a ready :class:`~repro.obs.hub.ObservabilityConfig`, or
+        its fields as keyword arguments (``trace=True``,
+        ``sample_interval=1024``, ``monitor=True``, ...).  Without this
+        call the system carries no observability state at all; with it,
+        only the enabled facilities cost anything.
+        """
+        if config is not None and kwargs:
+            raise ConfigurationError(
+                "pass either an ObservabilityConfig or keyword fields, "
+                "not both"
+            )
+        self._obs_config = (
+            config if config is not None else ObservabilityConfig(**kwargs)
+        )
         return self
 
     def with_core_config(self, config: CoreConfig) -> "SystemBuilder":
@@ -308,27 +347,36 @@ class SystemBuilder:
             page_policy=self._page_policy,
             write_queue_policy=self._write_queue_policy,
         )
+        # The legacy with_noc(trace_limit=...) shim feeds the same knob
+        # the observability config now owns; the config wins when both
+        # are set.
+        noc_trace_limit = self._noc_trace_limit
+        if (
+            self._obs_config is not None
+            and self._obs_config.noc_grant_trace_limit is not None
+        ):
+            noc_trace_limit = self._obs_config.noc_grant_trace_limit
         if self._noc_topology == "mesh":
             request_link = MeshNetwork(
                 num_cores, direction="to_hub",
                 port_capacity=self._noc_port_capacity,
-                trace_limit=self._noc_trace_limit,
+                trace_limit=noc_trace_limit,
             )
             response_link = MeshNetwork(
                 num_cores, direction="from_hub",
                 port_capacity=self._noc_port_capacity,
-                trace_limit=self._noc_trace_limit,
+                trace_limit=noc_trace_limit,
             )
         else:
             request_link = SharedLink(
                 num_cores, latency=self._noc_latency,
                 port_capacity=self._noc_port_capacity,
-                trace_limit=self._noc_trace_limit,
+                trace_limit=noc_trace_limit,
             )
             response_link = SharedLink(
                 num_cores, latency=self._noc_latency,
                 port_capacity=self._noc_port_capacity,
-                trace_limit=self._noc_trace_limit,
+                trace_limit=noc_trace_limit,
             )
 
         request_paths = []
@@ -419,6 +467,14 @@ class SystemBuilder:
                 )
                 response_paths.append(path)
 
+        observability: Optional[Observability] = None
+        if self._obs_config is not None:
+            observability = Observability(self._obs_config)
+            self._wire_observability(
+                observability, cores, request_paths, response_paths,
+                request_link, response_link, controller, dram,
+            )
+
         return System(
             cores=cores,
             request_paths=request_paths,
@@ -426,7 +482,114 @@ class SystemBuilder:
             request_link=request_link,
             response_link=response_link,
             controller=controller,
+            observability=observability,
         )
+
+    def _wire_observability(
+        self,
+        obs: Observability,
+        cores,
+        request_paths,
+        response_paths,
+        request_link,
+        response_link,
+        controller,
+        dram,
+    ) -> None:
+        """Hand the tracer to every component; register probes/watches.
+
+        Every probe reads span-constant state (queue depths, credit
+        registers, cumulative counters), so the interval sampler's
+        closed-form fill across next-event skips is exact — see
+        ``repro.obs.metrics`` for the contract.
+        """
+        tracer = obs.tracer
+        request_link.attach_tracer(tracer, "request")
+        response_link.attach_tracer(tracer, "response")
+        controller.tracer = tracer
+        dram.tracer = tracer
+        for core_id, (req_path, resp_path) in enumerate(
+            zip(request_paths, response_paths)
+        ):
+            if isinstance(req_path, RequestCamouflage):
+                req_path.shaper.attach_tracer(tracer, core_id, "request")
+            elif isinstance(req_path, EpochRateShaper):
+                req_path.attach_tracer(tracer)
+            if isinstance(resp_path, ResponseCamouflage):
+                resp_path.shaper.attach_tracer(tracer, core_id, "response")
+
+        if obs.sampler is not None:
+            sampler = obs.sampler
+            sampler.add_probe(
+                "memctrl.queue_depth", lambda c=controller: len(c.queue)
+            )
+            sampler.add_probe(
+                "memctrl.row_hits", lambda c=controller: c.row_hits
+            )
+            sampler.add_probe(
+                "memctrl.row_misses", lambda c=controller: c.row_misses
+            )
+            sampler.add_probe(
+                "memctrl.row_hit_rate",
+                lambda c=controller: (
+                    c.row_hits / (c.row_hits + c.row_misses)
+                    if c.row_hits + c.row_misses
+                    else 0.0
+                ),
+            )
+            sampler.add_probe(
+                "noc.request_grants", lambda l=request_link: l.total_grants
+            )
+            sampler.add_probe(
+                "noc.response_grants", lambda l=response_link: l.total_grants
+            )
+            for core_id, req_path in enumerate(request_paths):
+                if isinstance(req_path, RequestCamouflage):
+                    sampler.add_probe(
+                        f"core{core_id}.request_credits",
+                        lambda p=req_path: sum(p.shaper.credits_remaining()),
+                    )
+                sampler.add_probe(
+                    f"core{core_id}.real_sent",
+                    lambda p=req_path: p.real_sent,
+                )
+                sampler.add_probe(
+                    f"core{core_id}.fake_sent",
+                    lambda p=req_path: p.fake_sent,
+                )
+                sampler.add_probe(
+                    f"core{core_id}.fake_fraction",
+                    lambda p=req_path: (
+                        p.fake_sent / (p.real_sent + p.fake_sent)
+                        if p.real_sent + p.fake_sent
+                        else 0.0
+                    ),
+                )
+
+        if obs.monitor is not None:
+            for core_id, plan in enumerate(self._core_plans):
+                req_path = request_paths[core_id]
+                resp_path = response_paths[core_id]
+                if plan.request_shaping is not None:
+                    obs.monitor.watch(
+                        core_id, "request",
+                        req_path.intrinsic_histogram,
+                        req_path.shaped_histogram,
+                        plan.request_shaping.config.normalized(),
+                    )
+                elif plan.epoch_shaping is not None:
+                    obs.monitor.watch(
+                        core_id, "request",
+                        req_path.intrinsic_histogram,
+                        req_path.shaped_histogram,
+                    )
+                if plan.response_shaping is not None:
+                    obs.monitor.watch(
+                        core_id, "response",
+                        resp_path.intrinsic_histogram,
+                        resp_path.shaped_histogram,
+                        plan.response_shaping.config.normalized(),
+                    )
 
 
 class System:
@@ -440,6 +603,7 @@ class System:
         request_link: SharedLink,
         response_link: SharedLink,
         controller: MemoryController,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.cores = list(cores)
         self.request_paths = list(request_paths)
@@ -447,6 +611,12 @@ class System:
         self.request_link = request_link
         self.response_link = response_link
         self.controller = controller
+        self.observability = observability
+        # Cached so the per-tick guard is one boolean test, not an
+        # attribute chain (near-zero overhead when disabled).
+        self._obs_cycle_hooks = (
+            observability is not None and observability.has_cycle_hooks
+        )
         self.current_cycle = 0
         self._mc_staging: Deque[MemoryTransaction] = deque()
         # Per-core delivery records: latencies of real demand fills.
@@ -504,6 +674,9 @@ class System:
         for txn in self.response_link.pop_arrivals(cycle):
             self._deliver(txn, cycle)
 
+        if self._obs_cycle_hooks:
+            self.observability.on_cycle_end(cycle)
+
         self.current_cycle = cycle + 1
 
     # -- next-event engine ---------------------------------------------------
@@ -553,6 +726,11 @@ class System:
             skip = getattr(path, "skip_idle", None)
             if skip is not None:
                 skip(cycle, target)
+        if self._obs_cycle_hooks:
+            # Sample boundaries inside [cycle, target) fall in a span
+            # with no state changes: fill them with the current probe
+            # values *before* the tick at ``target`` mutates anything.
+            self.observability.on_skip(target - 1)
         self.current_cycle = target
 
     def _deliver(self, txn: MemoryTransaction, cycle: int) -> None:

@@ -68,3 +68,43 @@ class TestCalibrate:
                      "--benchmark", "gcc"]) == 0
         out = capsys.readouterr().out
         assert "gcc" in out and "row_hit_rate" in out
+
+
+class TestObservability:
+    def test_trace_exports_chrome_and_jsonl(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["--scale", "0.2", "trace", "--out", str(chrome),
+                     "--jsonl", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "events retained" in out
+        payload = json.loads(chrome.read_text())
+        categories = {e["cat"] for e in payload["traceEvents"]
+                      if e.get("ph") == "i"}
+        assert {"shaper", "memctrl", "dram", "noc"} <= categories
+        assert jsonl.read_text().count("\n") > 0
+
+    def test_trace_category_filter(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        assert main(["--scale", "0.2", "trace", "--out", str(chrome),
+                     "--categories", "dram"]) == 0
+        payload = json.loads(chrome.read_text())
+        assert {e["cat"] for e in payload["traceEvents"]
+                if e.get("ph") == "i"} == {"dram"}
+
+    def test_stats_quick(self, capsys):
+        assert main(["--scale", "0.2", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "row hit rate" in out
+        assert "memctrl.queue_depth" in out
+        assert "shaping monitor" in out
+
+    def test_stats_next_event_engine(self, capsys):
+        assert main(["--scale", "0.2", "stats",
+                     "--engine", "next_event"]) == 0
+        out = capsys.readouterr().out
+        assert "row hit rate" in out

@@ -73,5 +73,6 @@ class TestReadme:
 
     def test_docs_folder_files_exist(self):
         for name in ("architecture.md", "security.md",
-                     "experiments-howto.md", "api.md"):
+                     "experiments-howto.md", "api.md",
+                     "static-analysis.md", "observability.md"):
             assert (ROOT / "docs" / name).exists()

@@ -184,3 +184,75 @@ def _random_builder(seed):
 @pytest.mark.parametrize("seed", range(24))
 def test_randomized_systems_bit_identical(seed):
     _assert_engines_agree(_random_builder(seed), cycles=30_000)
+
+
+# -- observability under both engines -------------------------------------
+#
+# The obs layer must itself be engine-invariant: the event stream, the
+# interval samples and the monitor history are part of the "same run,
+# same artifacts" guarantee, not just the final report.
+
+
+def _observed_builder(make_builder):
+    def build():
+        return make_builder().with_observability(
+            trace=True,
+            sample_interval=1024,
+            monitor=True,
+            monitor_interval=2048,
+        )
+
+    return build
+
+
+def _assert_obs_identical(make_builder, cycles=25_000):
+    build = _observed_builder(make_builder)
+    systems = []
+    reports = []
+    for engine in ("cycle", "next_event"):
+        system = build().build()
+        reports.append(system.run(cycles, engine=engine))
+        systems.append(system)
+    baseline, fast = systems
+    assert reports[0] == reports[1]
+    obs_a, obs_b = baseline.observability, fast.observability
+    assert obs_a.tracer.events == obs_b.tracer.events
+    assert obs_a.tracer.counts == obs_b.tracer.counts
+    assert obs_a.sampler.samples == obs_b.sampler.samples
+    assert obs_a.monitor.history == obs_b.monitor.history
+    assert obs_a.monitor.violations == obs_b.monitor.violations
+
+
+class TestObservabilityEquivalence:
+    def test_bdc_jitter(self):
+        _assert_obs_identical(
+            lambda: _shaped_builder(response=True, jitter=True)
+        )
+
+    def test_epoch_shaping(self):
+        _assert_obs_identical(lambda: _shaped_builder(epoch=True))
+
+    def test_mesh_topology(self):
+        _assert_obs_identical(_mesh_builder)
+
+    def test_low_intensity_spans_are_filled(self):
+        """Long idle spans (the next-event engine's bread and butter)
+        must still yield the same sample-by-sample time-series."""
+
+        def build():
+            builder = SystemBuilder(seed=9)
+            builder.add_core(
+                make_trace("h264ref", 200, seed=9),
+                request_shaping=RequestShapingPlan(
+                    constant_rate_config(SPEC, 512)
+                ),
+            )
+            return builder
+
+        _assert_obs_identical(build, cycles=120_000)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_observability_identical(seed):
+    _assert_obs_identical(_random_builder(seed), cycles=30_000)

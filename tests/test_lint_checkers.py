@@ -326,6 +326,84 @@ class TestRL004:
         assert findings == []
 
 
+# -- RL005 bare print ------------------------------------------------------
+
+
+class TestRL005:
+    def test_bare_print_flagged(self):
+        findings = findings_for(
+            """
+            def debug(state):
+                print("queue:", state.queue)
+            """,
+            select=["RL005"],
+        )
+        assert ids_of(findings) == ["RL005"]
+        assert "print" in findings[0].message
+
+    def test_explicit_file_clean(self):
+        findings = findings_for(
+            """
+            import sys
+
+            def report(text, out=None):
+                print(text, file=out or sys.stderr)
+            """,
+            select=["RL005"],
+        )
+        assert findings == []
+
+    def test_main_module_exempt(self):
+        findings = findings_for(
+            """
+            print("usage: ...")
+            """,
+            path="src/repro/lint/__main__.py",
+            select=["RL005"],
+        )
+        assert findings == []
+
+    def test_cli_allow_path_default(self):
+        findings = findings_for(
+            """
+            print("table")
+            """,
+            path="src/repro/cli.py",
+            select=["RL005"],
+        )
+        assert findings == []
+
+    def test_allow_paths_configurable(self):
+        config = config_from_table(
+            {"rl005": {"allow-paths": ["repro/core/mod.py"]}}
+        )
+        findings = findings_for(
+            """
+            print("ok here")
+            """,
+            select=["RL005"],
+            config=config,
+        )
+        assert findings == []
+
+    def test_shadowed_print_not_flagged(self):
+        # A local callable named print is not the builtin side effect
+        # the rule targets — only bare Name calls without file= count,
+        # and methods like logger.print are attribute calls anyway.
+        findings = findings_for(
+            """
+            class Sink:
+                def print(self, text):
+                    return text
+
+            def use(sink):
+                return sink.print("x")
+            """,
+            select=["RL005"],
+        )
+        assert findings == []
+
+
 # -- suppression machinery -------------------------------------------------
 
 

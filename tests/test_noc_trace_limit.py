@@ -8,6 +8,8 @@ trace into a bounded ring of the most recent grants, wired through
 behavior.
 """
 
+import warnings
+
 import pytest
 
 from repro.common.errors import ConfigurationError
@@ -85,9 +87,10 @@ class TestMeshTraceLimit:
 
 class TestBuilderWiring:
     def _system(self, topology, trace_limit):
-        builder = SystemBuilder(seed=3).with_noc(
-            topology=topology, trace_limit=trace_limit
-        )
+        builder = SystemBuilder(seed=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            builder.with_noc(topology=topology, trace_limit=trace_limit)
         builder.add_core(make_trace("gcc", 200, seed=3))
         return builder.build()
 
@@ -108,3 +111,46 @@ class TestBuilderWiring:
         assert system.request_link.total_grants > 16
         assert len(system.request_link.grant_trace) == 16
         assert len(system.response_link.grant_trace) <= 16
+
+
+class TestDeprecatedShim:
+    """``with_noc(trace_limit=)`` lives on as a shim over the
+    observability config's ``noc_grant_trace_limit``."""
+
+    def _base(self):
+        builder = SystemBuilder(seed=3)
+        builder.add_core(make_trace("gcc", 200, seed=3))
+        return builder
+
+    def test_with_noc_trace_limit_warns(self):
+        with pytest.warns(DeprecationWarning, match="noc_grant_trace_limit"):
+            self._base().with_noc(trace_limit=8)
+
+    def test_with_noc_without_limit_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            self._base().with_noc(topology="shared")
+
+    def test_shim_equivalent_to_observability_config(self):
+        builder = self._base()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            builder.with_noc(trace_limit=8)
+        via_shim = builder.build()
+        via_obs = (
+            self._base()
+            .with_observability(noc_grant_trace_limit=8)
+            .build()
+        )
+        assert via_shim.request_link.trace_limit == 8
+        assert via_obs.request_link.trace_limit == 8
+        assert via_obs.response_link.trace_limit == 8
+
+    def test_observability_config_wins_over_shim(self):
+        builder = self._base().with_observability(noc_grant_trace_limit=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            builder.with_noc(trace_limit=99)
+        system = builder.build()
+        assert system.request_link.trace_limit == 4
+        assert system.response_link.trace_limit == 4

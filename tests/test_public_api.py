@@ -18,10 +18,16 @@ PACKAGES = [
     "repro.security",
     "repro.ga",
     "repro.analysis",
+    "repro.obs",
+    "repro.lint",
 ]
 
 MODULES = PACKAGES + [
     "repro.cli",
+    "repro.obs.tracer",
+    "repro.obs.metrics",
+    "repro.obs.monitor",
+    "repro.obs.hub",
     "repro.cpu.trace_io",
     "repro.core.epoch_shaper",
     "repro.ga.phase",

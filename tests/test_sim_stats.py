@@ -55,6 +55,13 @@ class TestCoreStats:
         stats = make_stats(latencies=tuple(range(1, 101)))
         assert stats.latency_percentile(50) == pytest.approx(50.5)
 
+    def test_latency_percentile_empty(self):
+        # Regression: a run that retires no memory requests (tiny cycle
+        # budget, cache-resident trace) must not crash the percentile.
+        stats = make_stats(latencies=(), response_times=[])
+        assert stats.latency_percentile(50) == 0.0
+        assert stats.latency_percentile(95) == 0.0
+
     def test_accumulated_response_time_monotone(self):
         acc = make_stats(latencies=(10, 20, 30)).accumulated_response_time()
         assert list(acc) == [10, 30, 60]
@@ -104,6 +111,18 @@ class TestSystemReport:
 
     def test_row_hit_rate(self):
         assert make_report([make_stats()]).row_hit_rate() == pytest.approx(0.8)
+
+    def test_row_hit_rate_no_commands(self):
+        # Regression: zero DRAM activity (run too short for any access
+        # to reach the controller) must report 0.0, not divide by zero.
+        report = SystemReport(
+            cycles_run=10, cores=[make_stats(latencies=(),
+                                             response_times=[])],
+            row_hits=0, row_misses=0, refreshes=0,
+            request_link_grants=0, response_link_grants=0,
+            scheduler_name="fr-fcfs",
+        )
+        assert report.row_hit_rate() == 0.0
 
     def test_summary_lines(self):
         lines = make_report([make_stats()]).summary_lines()
