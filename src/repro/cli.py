@@ -48,6 +48,9 @@ _EXPERIMENTS = {
     "calibrate": "measured workload characteristics (trace substitution)",
     "trace": "run a BDC-shaped mix with event tracing; export Chrome JSON",
     "stats": "run with metrics sampling and the live shaping monitor",
+    "run": "run a BDC-shaped mix with checkpoints and a stall watchdog",
+    "resume": "restore a checkpoint and continue the run bit-identically",
+    "faults": "run a fault-injection scenario (repro.resilience harness)",
 }
 
 
@@ -292,6 +295,112 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from repro.resilience.snapshot import snapshot_system
+    from repro.sim.stats import report_digest
+
+    system, defaults = _observed_resilient_system(args)
+    cycles = args.cycles or defaults.cycles
+    try:
+        report = system.run(cycles, stop_when_done=False, engine=args.engine)
+    except Exception as error:
+        print(f"run aborted: {type(error).__name__}: {error}")
+        dump_path = getattr(error, "dump_path", "")
+        if dump_path:
+            print(f"diagnostic dump written to {dump_path}")
+        return 1
+    res = system.resilience
+    if res is not None and res.checkpoints_taken:
+        print(f"checkpoints: {res.checkpoints_taken} taken, "
+              f"latest {res.last_checkpoint_path}")
+    if args.snapshot_out:
+        snapshot_system(system, args.snapshot_out)
+        print(f"final snapshot written to {args.snapshot_out}")
+    print(f"stopped at cycle {system.current_cycle}")
+    print(f"report digest: {report_digest(report)}")
+    return 0
+
+
+def _observed_resilient_system(args):
+    """The ``_observed_system`` mix plus the resilience layer."""
+    from repro.resilience import ResilienceConfig
+    from repro.workloads import make_trace
+
+    defaults = _defaults(args)
+    desired = BinConfiguration((10, 9, 8, 7, 6, 5, 4, 3, 2, 1))
+    builder = SystemBuilder(seed=defaults.seed)
+    builder.with_observability(ObservabilityConfig(
+        trace=True, trace_limit=args.limit, monitor=True,
+    ))
+    builder.with_resilience(ResilienceConfig(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        watchdog_cycles=args.watchdog,
+        watchdog_dump_path=args.watchdog_dump or "",
+    ))
+    builder.add_core(
+        make_trace(args.benchmark, num_accesses=defaults.accesses,
+                   seed=defaults.seed),
+        request_shaping=RequestShapingPlan(config=desired,
+                                           spec=defaults.spec),
+        response_shaping=ResponseShapingPlan(config=desired,
+                                             spec=defaults.spec),
+    )
+    builder.add_core(
+        make_trace(args.corunner, num_accesses=defaults.accesses,
+                   seed=defaults.seed + 1, base_address=1 << 26),
+    )
+    return builder.build(), defaults
+
+
+def _cmd_resume(args) -> int:
+    from repro.resilience.snapshot import read_snapshot_info, restore_system
+    from repro.sim.stats import report_digest
+
+    info = read_snapshot_info(args.snapshot)
+    print(f"snapshot: kind={info.get('kind')} cycle={info.get('cycle')} "
+          f"cores={info.get('num_cores')}")
+    if (args.cycles > 0) == (args.until > 0):
+        print("pass exactly one of --cycles (additional) or --until "
+              "(absolute target cycle)")
+        return 2
+    system = restore_system(args.snapshot)
+    remaining = args.cycles if args.cycles > 0 else args.until - system.current_cycle
+    if remaining <= 0:
+        print(f"nothing to do: snapshot already at cycle "
+              f"{system.current_cycle} >= --until {args.until}")
+        return 2
+    try:
+        report = system.run(remaining, stop_when_done=False,
+                            engine=args.engine)
+    except Exception as error:
+        print(f"resumed run aborted: {type(error).__name__}: {error}")
+        return 1
+    print(f"stopped at cycle {system.current_cycle}")
+    print(f"report digest: {report_digest(report)}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    import json as json_module
+
+    from repro.resilience import run_scenario, scenario_names
+
+    result = run_scenario(
+        args.scenario, cycles=args.cycles, dump_path=args.dump or "",
+        engine=args.engine,
+    )
+    print(json_module.dumps(result, indent=2, sort_keys=True, default=str))
+    # The resilience contract: a fault run must end in a typed error,
+    # a flagged degraded mode, or clean completion with bounds intact.
+    if result.get("outcome") == "silent_failure":
+        return 1
+    if result.get("bound_held") is False:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -356,6 +465,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=8,
                    help="sampled rows to print (tail)")
 
+    p = sub.add_parser("run", help=_EXPERIMENTS["run"])
+    p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
+    p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
+    p.add_argument("--engine", default="cycle",
+                   choices=("cycle", "next_event"))
+    p.add_argument("--cycles", type=int, default=0,
+                   help="run length (default: the experiment default)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="snapshot the whole system every N cycles")
+    p.add_argument("--checkpoint-dir", default="checkpoints",
+                   help="directory for periodic snapshots")
+    p.add_argument("--checkpoint-keep", type=int, default=3,
+                   help="most-recent snapshots to retain")
+    p.add_argument("--watchdog", type=int, default=None, metavar="CYCLES",
+                   help="stall budget before aborting (0 disables)")
+    p.add_argument("--watchdog-dump", default=None, metavar="PATH",
+                   help="JSON diagnostic dump path on watchdog trip")
+    p.add_argument("--snapshot-out", default=None, metavar="PATH",
+                   help="write a final snapshot when the run finishes")
+    p.add_argument("--limit", type=int, default=65536,
+                   help="event ring capacity")
+
+    p = sub.add_parser("resume", help=_EXPERIMENTS["resume"])
+    p.add_argument("snapshot", help="snapshot file written by 'repro run'")
+    p.add_argument("--engine", default="cycle",
+                   choices=("cycle", "next_event"))
+    p.add_argument("--cycles", type=int, default=0,
+                   help="additional cycles to run")
+    p.add_argument("--until", type=int, default=0, metavar="CYCLE",
+                   help="absolute cycle to run to (for digest comparison "
+                        "against an uninterrupted 'repro run')")
+
+    p = sub.add_parser("faults", help=_EXPERIMENTS["faults"])
+    p.add_argument("--scenario", required=True,
+                   help="one of: livelock, flood, saturate, degrade, "
+                        "epoch-stress, malformed-trace")
+    p.add_argument("--engine", default="cycle",
+                   choices=("cycle", "next_event"))
+    p.add_argument("--cycles", type=int, default=0,
+                   help="override the scenario's default run length")
+    p.add_argument("--dump", default=None, metavar="PATH",
+                   help="write the scenario's JSON report/dump here")
+
     p = sub.add_parser(
         "lint",
         help="run the repro-lint invariant checkers (RL001..RL004)",
@@ -400,6 +552,9 @@ _HANDLERS = {
     "calibrate": _cmd_calibrate,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+    "faults": _cmd_faults,
 }
 
 

@@ -20,6 +20,22 @@ class ConfigurationError(ReproError):
     """
 
 
+class TraceFormatError(ConfigurationError):
+    """A trace input (file, stream or record list) is malformed.
+
+    Carries the offending ``source`` (file path or a description of
+    the in-memory input) and, when known, the 1-based ``line`` number,
+    so batch trace conversions can point at the exact broken record.
+    Subclasses :class:`ConfigurationError` — existing callers that
+    catch the broader class keep working.
+    """
+
+    def __init__(self, message: str, source: str = "", line: int = 0) -> None:
+        super().__init__(message)
+        self.source = source
+        self.line = line
+
+
 class ProtocolError(ReproError):
     """An internal protocol invariant was violated.
 
@@ -30,10 +46,57 @@ class ProtocolError(ReproError):
     """
 
 
+class QueueOverflowError(ProtocolError):
+    """A bounded queue was pushed past its capacity.
+
+    The simulator's queues (the controller's 32-entry transaction
+    queue, the write queue, NoC link ports) model finite hardware
+    buffers whose fullness *is* the backpressure signal the timing
+    channel rides on.  A push into a full queue therefore means a
+    producer ignored ``is_full``/``can_accept`` — state silently grew
+    where hardware would have stalled.  ``capacity`` and ``depth``
+    record the bound and the occupancy at the failed push.
+    """
+
+    def __init__(self, message: str, capacity: int = 0, depth: int = 0) -> None:
+        super().__init__(message)
+        self.capacity = capacity
+        self.depth = depth
+
+
 class SimulationError(ReproError):
     """The simulation reached an unrecoverable runtime state.
 
     For instance, a watchdog detecting that no component made forward
     progress for an implausibly long time (deadlock), or statistics
     requested before any cycles were simulated.
+    """
+
+
+class WatchdogError(SimulationError):
+    """The stall watchdog detected a no-progress livelock/deadlock.
+
+    Subclasses :class:`SimulationError` so existing handlers keep
+    working.  ``dump`` holds the structured diagnostic captured at
+    abort time (queue depths, per-core pending state, shaper credit
+    registers); ``dump_path`` is where it was written as JSON, when a
+    dump file was configured.
+    """
+
+    def __init__(self, message: str, dump=None, dump_path: str = "") -> None:
+        super().__init__(message)
+        self.dump = dump if dump is not None else {}
+        self.dump_path = dump_path
+
+
+class ResilienceError(ReproError):
+    """Base class for checkpoint/restore and fault-harness failures."""
+
+
+class SnapshotError(ResilienceError):
+    """A snapshot could not be written, parsed or restored.
+
+    Raised on bad magic bytes, a format-version mismatch, a truncated
+    payload, or a payload of the wrong kind (e.g. feeding a GA-tuner
+    checkpoint to ``repro resume``).
     """

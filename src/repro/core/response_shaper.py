@@ -31,6 +31,12 @@ from repro.noc.link import SharedLink
 from repro.obs.events import CATEGORY_SHAPER
 
 
+def _zero_outstanding() -> int:
+    """Default outstanding probe — module-level so the shaper pickles
+    (checkpoint/restore snapshots the whole wired system graph)."""
+    return 0
+
+
 class ResponseCamouflage:
     """Per-core response shaper at the controller egress.
 
@@ -70,7 +76,7 @@ class ResponseCamouflage:
         self.link = link
         self.port = port
         self.scheduler = scheduler
-        self._outstanding_fn = outstanding_fn or (lambda: 0)
+        self._outstanding_fn = outstanding_fn or _zero_outstanding
         self._capacity = buffer_capacity
         self._queue: Deque[MemoryTransaction] = deque()
         self.generate_fake = generate_fake

@@ -63,6 +63,7 @@ class BinShaper:
         start_cycle: int = 0,
         strict: bool = False,
         jitter_rng=None,
+        jitter_budget: Optional[int] = None,
     ) -> None:
         """``strict`` selects the exact-bin release rule: a transaction
         may only consume the credit of the bin its inter-arrival time
@@ -78,7 +79,18 @@ class BinShaper:
         delayed by a random hold drawn from the width of the eligible
         bin's interval, "to increase the timing uncertainty and
         probability of memory conflict in a randomized manner".
+
+        ``jitter_budget`` bounds the number of jitter draws (one per
+        armed hold).  When the budget is exhausted the shaper *degrades
+        gracefully*: it stops arming holds and falls back to strict
+        constant-rate release — still on the configured distribution,
+        just without the randomized fine-grained defense — and flags
+        the fallback through :meth:`set_degradation_sink` and a
+        ``shaper.degraded`` trace event instead of silently changing
+        behaviour.  ``None`` (default) means unlimited.
         """
+        if jitter_budget is not None and jitter_budget < 0:
+            raise ConfigurationError("jitter_budget must be non-negative")
         if config.num_bins != spec.num_bins:
             raise ConfigurationError(
                 f"configuration has {config.num_bins} bins but the spec "
@@ -87,6 +99,13 @@ class BinShaper:
         self.spec = spec
         self._strict = strict
         self._jitter_rng = jitter_rng
+        self._jitter_budget = jitter_budget
+        self.jitter_draws = 0
+        # Graceful degradation (resilience): set once the jitter budget
+        # runs out, after which releases are strict constant-rate.
+        self.degraded = False
+        self.degraded_at_cycle: Optional[int] = None
+        self._degradation_sink = None
         # Cycle a pending jittered release is held until (None = no
         # hold armed); re-armed per release, cleared when consumed.
         self._jitter_hold_until: Optional[int] = None
@@ -114,6 +133,15 @@ class BinShaper:
         self.tracer = tracer
         self.trace_core = core_id
         self.trace_direction = direction
+
+    def set_degradation_sink(self, sink) -> None:
+        """Wire the degraded-mode flag target (builder-time).
+
+        ``sink(cycle, core_id, direction, reason, detail)`` — normally
+        the bound :meth:`~repro.obs.monitor.ShapingMonitor.flag_degraded`
+        method, which pickles with the system graph for checkpointing.
+        """
+        self._degradation_sink = sink
 
     # -- configuration -----------------------------------------------------
 
@@ -226,13 +254,20 @@ class BinShaper:
         bin_index = self._eligible_bin(self._credits, self._delta(cycle))
         if bin_index is None:
             return False
-        if self._jitter_rng is None:
+        if self._jitter_rng is None or self.degraded:
             return True
         if self._jitter_hold_until is None:
+            if (
+                self._jitter_budget is not None
+                and self.jitter_draws >= self._jitter_budget
+            ):
+                self._enter_degraded_mode(cycle)
+                return True
             width = self._bin_interval_width(bin_index)
             self._jitter_hold_until = cycle + self._jitter_rng.randint(
                 0, max(0, width - 1)
             )
+            self.jitter_draws += 1
             if self.tracer.enabled:
                 self.tracer.emit(
                     cycle, CATEGORY_SHAPER, "shaper.jitter_hold",
@@ -242,6 +277,29 @@ class BinShaper:
                     bin=bin_index,
                 )
         return cycle >= self._jitter_hold_until
+
+    def _enter_degraded_mode(self, cycle: int) -> None:
+        """Jitter budget exhausted: fall back to strict constant-rate
+        release, flagged — never a silent behaviour change."""
+        self.degraded = True
+        self.degraded_at_cycle = cycle
+        if self.tracer.enabled:
+            self.tracer.emit(
+                cycle, CATEGORY_SHAPER, "shaper.degraded",
+                core_id=self.trace_core,
+                direction=self.trace_direction,
+                reason="jitter_budget_exhausted",
+                draws=self.jitter_draws,
+            )
+        if self._degradation_sink is not None:
+            self._degradation_sink(
+                cycle,
+                self.trace_core,
+                self.trace_direction,
+                "jitter_budget_exhausted",
+                f"jitter budget of {self._jitter_budget} draws exhausted; "
+                f"releases continue without randomized holds",
+            )
 
     def can_release_fake(self, cycle: int) -> bool:
         """May a fake transaction release this cycle (unused credits)?"""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, TraceFormatError
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,13 @@ class MemoryTrace:
     def __init__(self, records: Iterable[TraceRecord], name: str = "trace") -> None:
         self._records: List[TraceRecord] = list(records)
         self.name = name
+        for index, record in enumerate(self._records):
+            if not isinstance(record, TraceRecord):
+                raise TraceFormatError(
+                    f"trace {name!r} record {index + 1} is not a "
+                    f"TraceRecord: {record!r}",
+                    source=f"<records:{name}>", line=index + 1,
+                )
 
     def __len__(self) -> int:
         return len(self._records)

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import gzip
 import io
+import zlib
 from pathlib import Path
 from typing import Union
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, TraceFormatError
 from repro.cpu.trace import MemoryTrace, TraceRecord
 
 _HEADER_PREFIX = "# repro-trace v1"
@@ -46,47 +47,70 @@ def save_trace(trace: MemoryTrace, path: Union[str, Path]) -> None:
 def load_trace(path: Union[str, Path]) -> MemoryTrace:
     """Read a trace previously written by :func:`save_trace`.
 
-    Raises :class:`~repro.common.errors.ConfigurationError` on any
-    malformed line, with the line number in the message.
+    Raises :class:`~repro.common.errors.TraceFormatError` (a
+    :class:`~repro.common.errors.ConfigurationError` subclass) on any
+    malformed line, carrying the file path and 1-based line number as
+    ``source``/``line`` attributes; undecodable or corrupt-gzip files
+    fail the same way with ``line=0``.
     """
     path = Path(path)
+    source = str(path)
     name = path.stem
     records = []
-    with _open(path, "r") as handle:
-        for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                if line.startswith(_HEADER_PREFIX):
-                    for token in line.split():
-                        if token.startswith("name="):
-                            name = token[len("name="):]
-                continue
-            parts = line.split()
-            if len(parts) != 3:
-                raise ConfigurationError(
-                    f"{path}:{line_number}: expected "
-                    f"'<gap> <address> <R|W>', got {line!r}"
-                )
-            gap_text, address_text, kind = parts
-            if kind not in ("R", "W"):
-                raise ConfigurationError(
-                    f"{path}:{line_number}: access kind must be R or W, "
-                    f"got {kind!r}"
-                )
-            try:
-                gap = int(gap_text)
-                address = int(address_text, 0)
-            except ValueError as error:
-                raise ConfigurationError(
-                    f"{path}:{line_number}: {error}"
-                ) from None
-            records.append(
-                TraceRecord(
-                    nonmem_insts=gap, address=address, is_write=kind == "W"
-                )
-            )
+    try:
+        with _open(path, "r") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if line.startswith(_HEADER_PREFIX):
+                        for token in line.split():
+                            if token.startswith("name="):
+                                name = token[len("name="):]
+                    continue
+                parts = line.split()
+                if len(parts) != 3:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: expected "
+                        f"'<gap> <address> <R|W>', got {line!r}",
+                        source=source, line=line_number,
+                    )
+                gap_text, address_text, kind = parts
+                if kind not in ("R", "W"):
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: access kind must be R or W, "
+                        f"got {kind!r}",
+                        source=source, line=line_number,
+                    )
+                try:
+                    gap = int(gap_text)
+                    address = int(address_text, 0)
+                except ValueError as error:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: {error}",
+                        source=source, line=line_number,
+                    ) from None
+                try:
+                    record = TraceRecord(
+                        nonmem_insts=gap, address=address,
+                        is_write=kind == "W",
+                    )
+                except ConfigurationError as error:
+                    # TraceRecord's own range checks (negative gap or
+                    # address), re-raised with the file/line context the
+                    # record constructor cannot know.
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: {error}",
+                        source=source, line=line_number,
+                    ) from None
+                records.append(record)
+    except (
+        UnicodeDecodeError, gzip.BadGzipFile, zlib.error, EOFError,
+    ) as error:
+        raise TraceFormatError(
+            f"{path}: not a readable trace file: {error}", source=source
+        ) from None
     return MemoryTrace(records, name=name)
 
 

@@ -16,7 +16,13 @@ evaluation windows on live hardware.
 
 from repro.ga.genetic import GaConfig, GeneticAlgorithm
 from repro.ga.mise import MiseMeasurement, mise_slowdown
-from repro.ga.online import OnlineGaTuner, ShaperHandle, TunerConfig
+from repro.ga.online import (
+    OnlineGaTuner,
+    ShaperHandle,
+    TunerConfig,
+    resume_tuner,
+    save_tuner,
+)
 from repro.ga.phase import PhaseDetector, PhaseDetectorConfig
 
 __all__ = [
@@ -29,4 +35,6 @@ __all__ = [
     "ShaperHandle",
     "TunerConfig",
     "mise_slowdown",
+    "resume_tuner",
+    "save_tuner",
 ]

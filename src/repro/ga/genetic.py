@@ -58,12 +58,24 @@ class GaConfig:
 
 
 class GeneticAlgorithm:
-    """Evolve integer genomes to minimize a fitness callback."""
+    """Evolve integer genomes to minimize a fitness callback.
+
+    The search state (population, generation counter, best-so-far,
+    RNG) lives on the instance and the whole object pickles, so an
+    in-progress search can be checkpointed after any generation and
+    resumed bit-identically (see repro.resilience / docs/resilience.md).
+    Drive it either with :meth:`evolve` (the whole search in one call)
+    or :meth:`initialize` + repeated :meth:`step` for external loops
+    that checkpoint between generations.
+    """
 
     def __init__(self, config: GaConfig, rng: DeterministicRng) -> None:
         self.config = config
         self._rng = rng
         self.history: List[float] = []  # best fitness per generation
+        self._population: List[Genome] = []
+        self._generation = 0
+        self._best: Optional[Tuple[Genome, float]] = None
 
     # -- genome helpers -------------------------------------------------
 
@@ -115,18 +127,24 @@ class GeneticAlgorithm:
 
     # -- main loop ------------------------------------------------------------
 
-    def evolve(
-        self,
-        evaluate: Callable[[Genome], float],
-        seed_population: Optional[Sequence[Genome]] = None,
-    ) -> Tuple[Genome, float]:
-        """Run the full search; returns (best genome, best fitness).
+    @property
+    def generation(self) -> int:
+        """Generations fully evaluated and bred so far."""
+        return self._generation
 
-        ``evaluate`` maps a genome to a cost (lower is better) and is
-        called once per individual per generation — for the online
-        tuner each call is a live simulation window, so the total
-        budget is ``population_size × generations`` windows.
-        """
+    @property
+    def best(self) -> Optional[Tuple[Genome, float]]:
+        """Best (genome, fitness) found so far, or None before step 1."""
+        return self._best
+
+    @property
+    def done(self) -> bool:
+        return self._generation >= self.config.generations
+
+    def initialize(
+        self, seed_population: Optional[Sequence[Genome]] = None
+    ) -> None:
+        """(Re)build the starting population; resets search state."""
         cfg = self.config
         population: List[Genome] = list(seed_population or [])
         for genome in population:
@@ -136,25 +154,70 @@ class GeneticAlgorithm:
                 )
         while len(population) < cfg.population_size:
             population.append(self.random_genome())
-        population = population[: cfg.population_size]
+        self._population = population[: cfg.population_size]
+        self._generation = 0
+        self._best = None
+        self.history = []
 
-        best: Optional[Tuple[Genome, float]] = None
-        for _generation in range(cfg.generations):
-            scored = [(genome, evaluate(genome)) for genome in population]
-            scored.sort(key=lambda pair: pair[1])
-            if best is None or scored[0][1] < best[1]:
-                best = scored[0]
-            self.history.append(scored[0][1])
+    def step(
+        self, evaluate: Callable[[Genome], float]
+    ) -> Tuple[Genome, float]:
+        """Evaluate and breed one generation; returns best-so-far.
 
-            next_population: List[Genome] = [
-                genome for genome, _ in scored[: cfg.elite_count]
-            ]
-            while len(next_population) < cfg.population_size:
-                parent_a = self._tournament(scored)
-                parent_b = self._tournament(scored)
-                child = self.mutate(self.crossover(parent_a, parent_b))
-                next_population.append(child)
-            population = next_population
+        The unit of checkpointing: after any completed step the whole
+        instance can be pickled and the search resumed later with
+        further :meth:`step` calls — the remaining generations are
+        bit-identical to an uninterrupted run.
+        """
+        if not self._population:
+            raise ConfigurationError(
+                "step() before initialize(): no population"
+            )
+        cfg = self.config
+        scored = [(genome, evaluate(genome)) for genome in self._population]
+        scored.sort(key=lambda pair: pair[1])
+        if self._best is None or scored[0][1] < self._best[1]:
+            self._best = scored[0]
+        self.history.append(scored[0][1])
 
+        next_population: List[Genome] = [
+            genome for genome, _ in scored[: cfg.elite_count]
+        ]
+        while len(next_population) < cfg.population_size:
+            parent_a = self._tournament(scored)
+            parent_b = self._tournament(scored)
+            child = self.mutate(self.crossover(parent_a, parent_b))
+            next_population.append(child)
+        self._population = next_population
+        self._generation += 1
+        assert self._best is not None
+        return self._best
+
+    def evolve(
+        self,
+        evaluate: Callable[[Genome], float],
+        seed_population: Optional[Sequence[Genome]] = None,
+        on_generation: Optional[Callable[["GeneticAlgorithm"], None]] = None,
+    ) -> Tuple[Genome, float]:
+        """Run the search to completion; returns (best genome, fitness).
+
+        ``evaluate`` maps a genome to a cost (lower is better) and is
+        called once per individual per generation — for the online
+        tuner each call is a live simulation window, so the total
+        budget is ``population_size × generations`` windows.
+
+        ``on_generation`` is invoked with the instance after each
+        generation (checkpoint hook).  On a fresh instance the
+        population is initialized from ``seed_population``; on one
+        restored mid-search the remaining generations run and
+        ``seed_population`` is ignored.
+        """
+        if self._generation == 0 and not self._population:
+            self.initialize(seed_population)
+        best = self._best
+        while not self.done:
+            best = self.step(evaluate)
+            if on_generation is not None:
+                on_generation(self)
         assert best is not None
         return best

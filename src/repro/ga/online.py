@@ -111,6 +111,11 @@ class OnlineGaTuner:
         ) != system.num_cores:
             raise ConfigurationError("need one alone IPC per core")
         self._evaluations = 0
+        # In-progress CONFIG phase (non-None only mid-tune): pickled
+        # with the tuner by save_tuner so a checkpointed search resumes
+        # at the generation it stopped after.
+        self._ga: Optional[GeneticAlgorithm] = None
+        self._tune_start_cycle = 0
 
     # -- genome mapping ----------------------------------------------------
 
@@ -199,29 +204,74 @@ class OnlineGaTuner:
 
     # -- entry point ---------------------------------------------------------------
 
-    def tune(self, seed_genomes: Optional[Sequence[Genome]] = None) -> TuningResult:
-        """Run the CONFIG phase and install the winning configuration."""
+    def tune(
+        self,
+        seed_genomes: Optional[Sequence[Genome]] = None,
+        checkpoint_path: Optional[str] = None,
+    ) -> TuningResult:
+        """Run the CONFIG phase and install the winning configuration.
+
+        ``checkpoint_path`` persists the whole tuner — live system, GA
+        population, RNG streams, evaluation counters — after every
+        generation (atomic snapshot envelope, kind ``"tuner"``).  A run
+        killed mid-search restarts with :func:`resume_tuner` and calls
+        :meth:`tune` again: the completed generations are not redone
+        and ``seed_genomes`` is ignored, the search simply continues.
+        """
         cfg = self.config
-        ga = GeneticAlgorithm(
-            GaConfig(
-                genome_length=self.genome_length,
-                max_gene=cfg.max_gene,
-                population_size=cfg.population_size,
-                generations=cfg.generations,
-                mutation_rate=cfg.mutation_rate,
-                crossover_rate=cfg.crossover_rate,
-                elite_count=cfg.elite_count,
-            ),
-            self._rng.fork(1),
-        )
-        start_cycle = self.system.current_cycle
-        best_genome, best_fitness = ga.evolve(
-            self._evaluate, seed_population=seed_genomes
-        )
+        if self._ga is None:
+            self._ga = GeneticAlgorithm(
+                GaConfig(
+                    genome_length=self.genome_length,
+                    max_gene=cfg.max_gene,
+                    population_size=cfg.population_size,
+                    generations=cfg.generations,
+                    mutation_rate=cfg.mutation_rate,
+                    crossover_rate=cfg.crossover_rate,
+                    elite_count=cfg.elite_count,
+                ),
+                self._rng.fork(1),
+            )
+            self._ga.initialize(seed_genomes)
+            self._tune_start_cycle = self.system.current_cycle
+        ga = self._ga
+        while not ga.done:
+            ga.step(self._evaluate)
+            if checkpoint_path:
+                save_tuner(self, checkpoint_path)
+        assert ga.best is not None
+        best_genome, best_fitness = ga.best
         self.apply_genome(best_genome)
-        return TuningResult(
+        result = TuningResult(
             best_genome=best_genome,
             best_fitness=best_fitness,
             fitness_history=list(ga.history),
-            config_phase_cycles=self.system.current_cycle - start_cycle,
+            config_phase_cycles=(
+                self.system.current_cycle - self._tune_start_cycle
+            ),
         )
+        self._ga = None  # CONFIG phase complete; next tune() starts fresh
+        if checkpoint_path:
+            # The final snapshot records the finished state (RUN-phase
+            # ready), so a post-completion resume does not re-search.
+            save_tuner(self, checkpoint_path)
+        return result
+
+
+def save_tuner(tuner: OnlineGaTuner, path: str) -> None:
+    """Atomically snapshot a tuner (and its live system) to ``path``."""
+    from repro.resilience.snapshot import KIND_TUNER, save_snapshot
+
+    generation = tuner._ga.generation if tuner._ga is not None else -1
+    save_snapshot(
+        path, tuner, KIND_TUNER, tuner.system.current_cycle,
+        extra_meta={"generation": generation},
+    )
+
+
+def resume_tuner(path: str) -> OnlineGaTuner:
+    """Restore a tuner checkpoint written by :func:`save_tuner`."""
+    from repro.resilience.snapshot import KIND_TUNER, load_snapshot
+
+    tuner, _ = load_snapshot(path, expect_kind=KIND_TUNER)
+    return tuner

@@ -5,6 +5,9 @@ from repro.lint.checkers.rl002_cycle_float import CycleFloatChecker
 from repro.lint.checkers.rl003_next_event import NextEventContractChecker
 from repro.lint.checkers.rl004_mutable_shared import MutableSharedStateChecker
 from repro.lint.checkers.rl005_bare_print import BarePrintChecker
+from repro.lint.checkers.rl006_swallowed_exceptions import (
+    SwallowedExceptionChecker,
+)
 
 __all__ = [
     "DeterminismChecker",
@@ -12,4 +15,5 @@ __all__ = [
     "NextEventContractChecker",
     "MutableSharedStateChecker",
     "BarePrintChecker",
+    "SwallowedExceptionChecker",
 ]

@@ -1,0 +1,113 @@
+"""RL006: no silently swallowed exceptions.
+
+The resilience contract (docs/resilience.md) is that every failure
+ends in a **typed error or a flagged degraded mode — never silence**.
+Exception handlers that discard errors wholesale break that end to
+end: a swallowed ``ProtocolError`` in the shaper pipeline is precisely
+the "silent shaping violation" the whole layer exists to rule out.
+
+Two handler shapes are flagged:
+
+* a **bare** ``except:`` whose body does not re-raise — it catches
+  everything including ``KeyboardInterrupt`` and ``SystemExit``;
+* an ``except Exception:`` / ``except BaseException:`` (alone or in a
+  tuple) whose body is *only* ``pass``, ``...`` or ``continue`` — a
+  catch-all that provably discards the error without recording,
+  wrapping, or handling it.
+
+Narrow typed handlers (``except OSError: pass`` around best-effort
+cleanup) are allowed: naming the exception *is* the statement of
+intent this checker asks for.  Catch-alls that log, wrap-and-re-raise,
+or return a sentinel are likewise untouched — only the provably-silent
+shapes are findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, ModuleContext, register
+
+_DEFAULT_ALLOW_PATHS: List[str] = []
+
+_HINT = (
+    "catch a specific exception type, or handle the error (log it, wrap "
+    "it in a typed repro.common.errors exception, flag degraded mode) — "
+    "a silent catch-all hides exactly the failures the resilience "
+    "contract requires to surface"
+)
+
+_CATCH_ALL_NAMES = ("Exception", "BaseException")
+
+
+def _reraises(body: List[ast.stmt]) -> bool:
+    """Does any statement in the handler body (re-)raise?"""
+    return any(isinstance(n, ast.Raise) for n in ast.walk(ast.Module(
+        body=body, type_ignores=[]
+    )))
+
+
+def _is_trivial_body(body: List[ast.stmt]) -> bool:
+    """Only ``pass``/``...``/``continue`` statements — provably silent."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ) and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+def _names_catch_all(exc: ast.expr) -> bool:
+    if isinstance(exc, ast.Name):
+        return exc.id in _CATCH_ALL_NAMES
+    if isinstance(exc, ast.Tuple):
+        return any(_names_catch_all(e) for e in exc.elts)
+    return False
+
+
+@register
+class SwallowedExceptionChecker(Checker):
+    id = "RL006"
+    name = "no-swallowed-exceptions"
+    description = (
+        "flags bare except: without re-raise, and except "
+        "Exception/BaseException whose body only passes — silent "
+        "catch-alls that break the typed-error-or-flagged contract"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        allow = module.options.get("allow-paths", _DEFAULT_ALLOW_PATHS)
+        if self.path_matches(module.path, allow):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                if not _reraises(node.body):
+                    findings.append(
+                        module.finding(
+                            self.id,
+                            node,
+                            "bare except: swallows every exception "
+                            "(including KeyboardInterrupt) without "
+                            "re-raising",
+                            hint=_HINT,
+                        )
+                    )
+            elif _names_catch_all(node.type) and _is_trivial_body(node.body):
+                findings.append(
+                    module.finding(
+                        self.id,
+                        node,
+                        "except Exception with a pass-only body silently "
+                        "discards the error",
+                        hint=_HINT,
+                    )
+                )
+        return findings

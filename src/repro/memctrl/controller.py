@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    QueueOverflowError,
+)
 from repro.common.rng import DeterministicRng
 from repro.dram.address import AddressMapping, DecodedAddress
 from repro.dram.commands import CommandType, DramCommand
@@ -130,7 +134,30 @@ class MemoryController:
     def enqueue(self, txn: MemoryTransaction, cycle: int) -> None:
         """Accept a transaction from the request path."""
         if not self.can_accept():
-            raise ProtocolError("enqueue while the transaction queue is full")
+            full = (
+                self.queue
+                if self.queue.is_full
+                else self.write_queue
+            )
+            capacity = (
+                self.queue.capacity
+                if full is self.queue
+                else self.write_queue.policy.capacity
+            )
+            raise QueueOverflowError(
+                f"enqueue of transaction {txn.txn_id} (core {txn.core_id}) "
+                f"while the controller cannot accept "
+                f"(transaction queue {len(self.queue)}/{self.queue.capacity}"
+                + (
+                    f", write queue {len(self.write_queue)}/"
+                    f"{self.write_queue.policy.capacity}"
+                    if self.write_queue is not None
+                    else ""
+                )
+                + "); the ingress must respect can_accept backpressure",
+                capacity=capacity,
+                depth=len(full),
+            )
         mapping = self._per_core_mapping.get(txn.core_id, self.mapping)
         txn.decoded = mapping.decode(txn.address)
         txn.mc_arrival_cycle = cycle

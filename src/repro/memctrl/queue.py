@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional
 
-from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    QueueOverflowError,
+)
 from repro.memctrl.transaction import MemoryTransaction
 
 
@@ -45,9 +49,22 @@ class TransactionQueue:
         return not self._entries
 
     def push(self, txn: MemoryTransaction) -> None:
-        """Append a transaction; caller must respect ``is_full``."""
+        """Append a transaction; caller must respect ``is_full``.
+
+        The capacity bound is the backpressure contract: a full queue
+        stalls the NoC, the shapers and ultimately the cores.  Pushing
+        past it is a producer bug, rejected loudly rather than modelled
+        as silent unbounded growth.
+        """
         if self.is_full:
-            raise ProtocolError("push into a full transaction queue")
+            raise QueueOverflowError(
+                f"push of transaction {txn.txn_id} (core {txn.core_id}) "
+                f"into a full transaction queue "
+                f"({len(self._entries)}/{self._capacity} entries); the "
+                f"producer must respect is_full backpressure",
+                capacity=self._capacity,
+                depth=len(self._entries),
+            )
         self._entries.append(txn)
 
     def remove(self, txn: MemoryTransaction) -> None:

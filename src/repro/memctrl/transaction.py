@@ -8,14 +8,40 @@ pipeline stamps the transaction as it passes.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
 from repro.dram.address import DecodedAddress
 
-_transaction_ids = itertools.count()
+# Process-global id source.  A plain integer (not itertools.count) so
+# checkpoint/restore can query and re-seed it: a run resumed in a fresh
+# process must hand out exactly the ids the uninterrupted run would
+# have (see repro.resilience.snapshot).
+_next_txn_id = 0
+
+
+def _allocate_txn_id() -> int:
+    global _next_txn_id
+    allocated = _next_txn_id
+    _next_txn_id += 1
+    return allocated
+
+
+def txn_id_watermark() -> int:
+    """The id the next transaction will receive (snapshot metadata)."""
+    return _next_txn_id
+
+
+def advance_txn_id_watermark(watermark: int) -> None:
+    """Raise the id counter to at least ``watermark`` (snapshot restore).
+
+    Never lowers it: restoring an old snapshot into a process that has
+    since allocated further ids must not mint duplicates.
+    """
+    global _next_txn_id
+    if watermark > _next_txn_id:
+        _next_txn_id = watermark
 
 
 class TransactionType(Enum):
@@ -49,7 +75,7 @@ class MemoryTransaction:
     address: int
     kind: TransactionType
     created_cycle: int
-    txn_id: int = field(default_factory=lambda: next(_transaction_ids))
+    txn_id: int = field(default_factory=_allocate_txn_id)
     decoded: Optional[DecodedAddress] = None
 
     # Timestamp trail (filled in as the transaction advances).

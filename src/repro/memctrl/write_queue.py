@@ -19,7 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    QueueOverflowError,
+)
 from repro.memctrl.transaction import MemoryTransaction
 
 
@@ -70,7 +74,14 @@ class WriteQueue:
         if not txn.is_write:
             raise ProtocolError("write queue accepts only write transactions")
         if self.is_full:
-            raise ProtocolError("push into a full write queue")
+            raise QueueOverflowError(
+                f"push of write {txn.txn_id} (core {txn.core_id}) into a "
+                f"full write queue ({len(self._entries)}/"
+                f"{self.policy.capacity} entries); the producer must "
+                f"respect is_full backpressure",
+                capacity=self.policy.capacity,
+                depth=len(self._entries),
+            )
         self._entries.append(txn)
         self.accepted += 1
 

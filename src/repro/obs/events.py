@@ -24,6 +24,9 @@ CATEGORY_DRAM = "dram"
 CATEGORY_NOC = "noc"
 #: Live shaping-monitor checkpoints and violations.
 CATEGORY_MONITOR = "monitor"
+#: Resilience events: checkpoints taken, watchdog dumps, injected
+#: faults, degradation-policy activations.
+CATEGORY_RESILIENCE = "resilience"
 
 ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_SHAPER,
@@ -31,6 +34,7 @@ ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_DRAM,
     CATEGORY_NOC,
     CATEGORY_MONITOR,
+    CATEGORY_RESILIENCE,
 )
 
 #: ``core_id`` used by events not attributable to a single core

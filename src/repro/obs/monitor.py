@@ -53,6 +53,25 @@ class ShapingViolation:
 
 
 @dataclass(frozen=True)
+class DegradedMode:
+    """One graceful-degradation activation, flagged live.
+
+    The resilience contract (docs/resilience.md): when a component
+    exhausts a budget it falls back to a *safe* policy — e.g. the
+    shaper dropping randomized jitter for strict constant-rate release
+    once its jitter budget runs out — and the fallback is recorded
+    here, never applied silently.  ``reason`` is a stable machine key
+    (``"jitter_budget_exhausted"``, ...); ``detail`` is human prose.
+    """
+
+    cycle: int
+    core_id: int
+    direction: str
+    reason: str
+    detail: str
+
+
+@dataclass(frozen=True)
 class MonitorSample:
     """One checkpoint's estimates for one monitored stream."""
 
@@ -113,6 +132,7 @@ class ShapingMonitor:
         self._streams: List[_WatchedStream] = []
         self.history: List[MonitorSample] = []
         self.violations: List[ShapingViolation] = []
+        self.degradations: List[DegradedMode] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -207,6 +227,34 @@ class ShapingMonitor:
                         threshold=self.tvd_threshold,
                         events=observed,
                     )
+
+    def flag_degraded(
+        self,
+        cycle: int,
+        core_id: int,
+        direction: str,
+        reason: str,
+        detail: str = "",
+    ) -> DegradedMode:
+        """Record a graceful-degradation activation (pushed by the
+        degrading component, not polled at checkpoints, so the flag is
+        stamped at the exact cycle the policy flipped)."""
+        mode = DegradedMode(
+            cycle=cycle,
+            core_id=core_id,
+            direction=direction,
+            reason=reason,
+            detail=detail,
+        )
+        self.degradations.append(mode)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                cycle, CATEGORY_MONITOR, "monitor.degraded",
+                core_id=core_id,
+                direction=direction,
+                reason=reason,
+            )
+        return mode
 
     def _windowed_mi(self, stream: _WatchedStream) -> float:
         """Plug-in MI over the last ``mi_window`` paired releases."""

@@ -49,6 +49,12 @@ class NullTracer:
              core_id: int = SYSTEM_CORE, **args: Any) -> None:
         pass
 
+    def __reduce__(self):
+        # Pickle to the module singleton: a checkpointed system whose
+        # components share NULL_TRACER restores to components sharing
+        # NULL_TRACER, not N private copies.
+        return "NULL_TRACER"
+
 
 #: The process-wide disabled tracer every component starts with.
 NULL_TRACER = NullTracer()

@@ -9,6 +9,8 @@ and row-hit rates.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -135,3 +137,47 @@ class SystemReport:
                 f"mem_lat={c.mean_memory_latency():.0f}"
             )
         return lines
+
+
+def report_digest(report: SystemReport) -> str:
+    """A short deterministic fingerprint over everything in a report.
+
+    Two reports digest equal iff every counter, histogram bin, latency
+    sample and response timestamp matches — ``repro run`` prints it and
+    ``repro resume`` prints it again so the bit-identical-resume
+    guarantee (docs/resilience.md) is checkable from the command line.
+    """
+    doc = {
+        "cycles_run": report.cycles_run,
+        "row_hits": report.row_hits,
+        "row_misses": report.row_misses,
+        "refreshes": report.refreshes,
+        "request_link_grants": report.request_link_grants,
+        "response_link_grants": report.response_link_grants,
+        "scheduler": report.scheduler_name,
+        "cores": [
+            {
+                "core_id": c.core_id,
+                "trace": c.trace_name,
+                "cycles": c.cycles,
+                "retired": c.retired_instructions,
+                "finish": c.finish_cycle,
+                "demand": c.demand_requests,
+                "writebacks": c.writeback_requests,
+                "fake_req": c.fake_requests_sent,
+                "fake_resp": c.fake_responses_sent,
+                "stalls": c.memory_stall_cycles,
+                "llc_misses": c.llc_misses,
+                "llc_accesses": c.llc_accesses,
+                "request_intrinsic": list(c.request_intrinsic.counts),
+                "request_shaped": list(c.request_shaped.counts),
+                "response_intrinsic": list(c.response_intrinsic.counts),
+                "response_shaped": list(c.response_shaped.counts),
+                "latencies": list(c.memory_latencies),
+                "response_times": [list(rt) for rt in c.response_times],
+            }
+            for c in report.cores
+        ],
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -50,6 +50,9 @@ from repro.memctrl.transaction import MemoryTransaction, TransactionType
 from repro.noc.link import SharedLink
 from repro.noc.mesh import MeshNetwork
 from repro.obs.hub import Observability, ObservabilityConfig
+from repro.obs.tracer import NULL_TRACER
+from repro.resilience.runtime import ResilienceConfig, ResilienceRuntime
+from repro.resilience.watchdog import Watchdog
 from repro.sim.stats import CoreStats, SystemReport
 
 
@@ -102,6 +105,84 @@ class _CorePlan:
     epoch_shaping: Optional[EpochShapingPlan] = None
 
 
+# Sampler probes and wiring callables, as module-level classes rather
+# than builder closures: the wired system must pickle for
+# checkpoint/restore (repro.resilience.snapshot), and locally defined
+# lambdas cannot.  Every probe reads only span-constant state — the
+# interval sampler's closed-form-fill contract (repro.obs.metrics).
+
+
+class _OutstandingGapProbe:
+    """RespC's acceleration signal: this core's misses still inside
+    the memory system (outstanding minus already buffered responses)."""
+
+    __slots__ = ("_core", "_path")
+
+    def __init__(self, core, path) -> None:
+        self._core = core
+        self._path = path
+
+    def __call__(self) -> int:
+        return max(0, self._core.outstanding_misses - self._path.occupancy)
+
+
+class _AttrProbe:
+    """Reads one cumulative-counter attribute of one component."""
+
+    __slots__ = ("_obj", "_attr")
+
+    def __init__(self, obj, attr: str) -> None:
+        self._obj = obj
+        self._attr = attr
+
+    def __call__(self):
+        return getattr(self._obj, self._attr)
+
+
+class _QueueDepthProbe:
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller) -> None:
+        self._controller = controller
+
+    def __call__(self) -> int:
+        return len(self._controller.queue)
+
+
+class _RowHitRateProbe:
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller) -> None:
+        self._controller = controller
+
+    def __call__(self) -> float:
+        hits = self._controller.row_hits
+        total = hits + self._controller.row_misses
+        return hits / total if total else 0.0
+
+
+class _CreditSumProbe:
+    __slots__ = ("_path",)
+
+    def __init__(self, path) -> None:
+        self._path = path
+
+    def __call__(self) -> int:
+        return sum(self._path.shaper.credits_remaining())
+
+
+class _FakeFractionProbe:
+    __slots__ = ("_path",)
+
+    def __init__(self, path) -> None:
+        self._path = path
+
+    def __call__(self) -> float:
+        fake = self._path.fake_sent
+        total = self._path.real_sent + fake
+        return fake / total if total else 0.0
+
+
 class SystemBuilder:
     """Fluent assembly of a full system."""
 
@@ -120,6 +201,7 @@ class SystemBuilder:
         self._noc_topology = "shared"
         self._noc_trace_limit: Optional[int] = None
         self._obs_config: Optional[ObservabilityConfig] = None
+        self._resilience_config: Optional[ResilienceConfig] = None
         self._queue_capacity = 32
         self._page_policy = "open"
         self._write_queue_policy = None
@@ -235,6 +317,30 @@ class SystemBuilder:
             )
         self._obs_config = (
             config if config is not None else ObservabilityConfig(**kwargs)
+        )
+        return self
+
+    def with_resilience(
+        self,
+        config: Optional[ResilienceConfig] = None,
+        **kwargs,
+    ) -> "SystemBuilder":
+        """Attach the :mod:`repro.resilience` layer to the built system.
+
+        Pass a ready :class:`~repro.resilience.runtime.ResilienceConfig`
+        or its fields as keyword arguments (``checkpoint_every=50_000``,
+        ``watchdog_cycles=10_000``, ``jitter_budget=256``,
+        ``faults=(...)``, ...).  Enables periodic whole-system
+        checkpoints, the diagnostic-dumping watchdog, graceful shaper
+        degradation and the fault-injection harness — see
+        docs/resilience.md.
+        """
+        if config is not None and kwargs:
+            raise ConfigurationError(
+                "pass either a ResilienceConfig or keyword fields, not both"
+            )
+        self._resilience_config = (
+            config if config is not None else ResilienceConfig(**kwargs)
         )
         return self
 
@@ -379,6 +485,11 @@ class SystemBuilder:
                 trace_limit=noc_trace_limit,
             )
 
+        jitter_budget = (
+            self._resilience_config.jitter_budget
+            if self._resilience_config is not None
+            else None
+        )
         request_paths = []
         for core_id, plan in enumerate(self._core_plans):
             if plan.epoch_shaping is not None:
@@ -411,6 +522,7 @@ class SystemBuilder:
                                 rng.fork(3000 + core_id)
                                 if shaping.jitter else None
                             ),
+                            jitter_budget=jitter_budget,
                         ),
                         link=request_link,
                         port=core_id,
@@ -455,15 +567,15 @@ class SystemBuilder:
                             rng.fork(4000 + core_id)
                             if shaping.jitter else None
                         ),
+                        jitter_budget=jitter_budget,
                     ),
                     link=response_link,
                     port=core_id,
                     scheduler=warn_target,
                     generate_fake=shaping.generate_fake,
                 )
-                core = cores[core_id]
                 path.set_outstanding_fn(
-                    lambda c=core, p=path: max(0, c.outstanding_misses - p.occupancy)
+                    _OutstandingGapProbe(cores[core_id], path)
                 )
                 response_paths.append(path)
 
@@ -475,6 +587,27 @@ class SystemBuilder:
                 request_link, response_link, controller, dram,
             )
 
+        resilience: Optional[ResilienceRuntime] = None
+        if self._resilience_config is not None:
+            resilience = ResilienceRuntime(
+                self._resilience_config,
+                rng,
+                address_space_bytes=self._address_space,
+                line_bytes=self._hierarchy_config.l1.line_bytes,
+            )
+            if observability is not None:
+                resilience.attach_tracer(observability.tracer)
+                if observability.monitor is not None:
+                    # Graceful degradation is only *graceful* if it is
+                    # flagged: route every shaper's degradation edge
+                    # into the live monitor.
+                    for path in list(request_paths) + list(response_paths):
+                        shaper = getattr(path, "shaper", None)
+                        if shaper is not None:
+                            shaper.set_degradation_sink(
+                                observability.monitor.flag_degraded
+                            )
+
         return System(
             cores=cores,
             request_paths=request_paths,
@@ -483,6 +616,7 @@ class SystemBuilder:
             response_link=response_link,
             controller=controller,
             observability=observability,
+            resilience=resilience,
         )
 
     def _wire_observability(
@@ -521,49 +655,41 @@ class SystemBuilder:
         if obs.sampler is not None:
             sampler = obs.sampler
             sampler.add_probe(
-                "memctrl.queue_depth", lambda c=controller: len(c.queue)
+                "memctrl.queue_depth", _QueueDepthProbe(controller)
             )
             sampler.add_probe(
-                "memctrl.row_hits", lambda c=controller: c.row_hits
+                "memctrl.row_hits", _AttrProbe(controller, "row_hits")
             )
             sampler.add_probe(
-                "memctrl.row_misses", lambda c=controller: c.row_misses
+                "memctrl.row_misses", _AttrProbe(controller, "row_misses")
             )
             sampler.add_probe(
-                "memctrl.row_hit_rate",
-                lambda c=controller: (
-                    c.row_hits / (c.row_hits + c.row_misses)
-                    if c.row_hits + c.row_misses
-                    else 0.0
-                ),
+                "memctrl.row_hit_rate", _RowHitRateProbe(controller)
             )
             sampler.add_probe(
-                "noc.request_grants", lambda l=request_link: l.total_grants
+                "noc.request_grants", _AttrProbe(request_link, "total_grants")
             )
             sampler.add_probe(
-                "noc.response_grants", lambda l=response_link: l.total_grants
+                "noc.response_grants",
+                _AttrProbe(response_link, "total_grants"),
             )
             for core_id, req_path in enumerate(request_paths):
                 if isinstance(req_path, RequestCamouflage):
                     sampler.add_probe(
                         f"core{core_id}.request_credits",
-                        lambda p=req_path: sum(p.shaper.credits_remaining()),
+                        _CreditSumProbe(req_path),
                     )
                 sampler.add_probe(
                     f"core{core_id}.real_sent",
-                    lambda p=req_path: p.real_sent,
+                    _AttrProbe(req_path, "real_sent"),
                 )
                 sampler.add_probe(
                     f"core{core_id}.fake_sent",
-                    lambda p=req_path: p.fake_sent,
+                    _AttrProbe(req_path, "fake_sent"),
                 )
                 sampler.add_probe(
                     f"core{core_id}.fake_fraction",
-                    lambda p=req_path: (
-                        p.fake_sent / (p.real_sent + p.fake_sent)
-                        if p.real_sent + p.fake_sent
-                        else 0.0
-                    ),
+                    _FakeFractionProbe(req_path),
                 )
 
         if obs.monitor is not None:
@@ -604,6 +730,7 @@ class System:
         response_link: SharedLink,
         controller: MemoryController,
         observability: Optional[Observability] = None,
+        resilience: Optional[ResilienceRuntime] = None,
     ) -> None:
         self.cores = list(cores)
         self.request_paths = list(request_paths)
@@ -612,10 +739,14 @@ class System:
         self.response_link = response_link
         self.controller = controller
         self.observability = observability
+        self.resilience = resilience
         # Cached so the per-tick guard is one boolean test, not an
         # attribute chain (near-zero overhead when disabled).
         self._obs_cycle_hooks = (
             observability is not None and observability.has_cycle_hooks
+        )
+        self._fault_hooks = (
+            resilience is not None and resilience.injector is not None
         )
         self.current_cycle = 0
         self._mc_staging: Deque[MemoryTransaction] = deque()
@@ -643,12 +774,21 @@ class System:
     def tick(self) -> None:
         """Advance the whole system by one cycle."""
         cycle = self.current_cycle
+        if self._fault_hooks:
+            # Fault injection runs before any component so the order of
+            # injected work relative to normal work is fixed — identical
+            # under both engines.
+            self.resilience.injector.on_cycle(self, cycle)
         for core in self.cores:
             core.tick(cycle)
         for path in self.request_paths:
             path.tick(cycle)
 
         dest_ready = self.controller.can_accept() and not self._mc_staging
+        if self._fault_hooks and self.resilience.injector.request_link_stalled(
+            cycle
+        ):
+            dest_ready = False
         self.request_link.tick(cycle, dest_ready=dest_ready)
         for txn in self.request_link.pop_arrivals(cycle):
             self._mc_staging.append(txn)
@@ -707,6 +847,8 @@ class System:
         components.extend(self.cores)
         components.extend(self.request_paths)
         components.extend(self.response_paths)
+        if self._fault_hooks:
+            components.append(self.resilience.injector)
         for component in components:
             event = component.next_event_cycle(cycle)
             if event is None:
@@ -759,9 +901,15 @@ class System:
         (e.g. a shaper whose credits can never release against a
         stalled core): if no core retires an instruction and no
         response is delivered for that many consecutive cycles while
-        work is still pending, the run aborts with a diagnostic
-        :class:`~repro.common.errors.SimulationError` instead of
-        spinning forever.  Set to 0 to disable.
+        work is still pending, the run aborts with a
+        :class:`~repro.common.errors.WatchdogError` (a
+        :class:`~repro.common.errors.SimulationError` subclass)
+        carrying a structured diagnostic dump instead of spinning
+        forever.  Set to 0 to disable.  A
+        :meth:`SystemBuilder.with_resilience` ``watchdog_cycles``
+        setting overrides this argument, and ``checkpoint_every``
+        makes the loop snapshot the whole system at every multiple of
+        N cycles (see docs/resilience.md).
 
         ``engine`` selects the stepping strategy: ``"cycle"`` (default)
         ticks every cycle; ``"next_event"`` jumps the clock over spans
@@ -778,14 +926,31 @@ class System:
                 f"unknown engine {engine!r}: expected 'cycle' or 'next_event'"
             )
         fast = engine == "next_event"
+        res = self.resilience
+        checkpoint_every = 0
+        watchdog_dump_path = ""
+        if res is not None:
+            checkpoint_every = res.config.checkpoint_every
+            watchdog_dump_path = res.config.watchdog_dump_path
+            if res.config.watchdog_cycles is not None:
+                watchdog_cycles = res.config.watchdog_cycles
+        watchdog = Watchdog(
+            watchdog_cycles,
+            dump_path=watchdog_dump_path,
+            tracer=(
+                self.observability.tracer
+                if self.observability is not None
+                else NULL_TRACER
+            ),
+        )
+        watchdog.reset(self)
         end = self.current_cycle + max_cycles
-        last_progress_cycle = self.current_cycle
-        last_retired = sum(c.retired_instructions for c in self.cores)
-        last_delivered = sum(len(lat) for lat in self._latencies)
         while self.current_cycle < end:
             if stop_when_done and self.all_cores_done():
                 break
             self.tick()
+            if checkpoint_every and self.current_cycle % checkpoint_every == 0:
+                res.take_checkpoint(self)
             skipped = False
             if (
                 fast
@@ -798,43 +963,29 @@ class System:
                     # a frozen (deadlocked) system must still trip the
                     # progress check, exactly as the per-cycle loop
                     # would while spinning through the same span.
+                    target = min(target, watchdog.horizon(self.current_cycle))
+                if checkpoint_every and target is not None:
+                    # Land every clock jump exactly on checkpoint
+                    # boundaries — behaviour-preserving by the engine's
+                    # no-state-change guarantee, like the horizon cap.
                     target = min(
                         target,
-                        max(
-                            self.current_cycle + 1,
-                            last_progress_cycle + watchdog_cycles + 1,
-                        ),
+                        res.next_checkpoint_boundary(self.current_cycle),
                     )
                 if target is not None and target > self.current_cycle:
                     self._skip_idle_span(target)
                     skipped = True
+                    if (
+                        checkpoint_every
+                        and self.current_cycle % checkpoint_every == 0
+                    ):
+                        res.take_checkpoint(self)
             # Check progress only every 256 cycles to keep the hot
             # loop cheap (the watchdog granularity does not matter),
             # plus after every skip, whose span is progress-free by
             # construction.
             if watchdog_cycles and (skipped or (self.current_cycle & 0xFF) == 0):
-                retired = sum(c.retired_instructions for c in self.cores)
-                delivered = sum(len(lat) for lat in self._latencies)
-                if retired != last_retired or delivered != last_delivered:
-                    last_retired = retired
-                    last_delivered = delivered
-                    last_progress_cycle = self.current_cycle
-                elif (
-                    self.current_cycle - last_progress_cycle > watchdog_cycles
-                    and not self.all_cores_done()
-                ):
-                    pending = [
-                        (c.core_id, c.outstanding_misses,
-                         self.request_paths[c.core_id].occupancy)
-                        for c in self.cores
-                        if not c.done
-                    ]
-                    raise SimulationError(
-                        f"no forward progress for {watchdog_cycles} cycles "
-                        f"at cycle {self.current_cycle}; pending cores "
-                        f"(id, outstanding, shaper occupancy): {pending} — "
-                        "likely an unserviceable shaping configuration"
-                    )
+                watchdog.observe(self)
         return self.report()
 
     # -- reporting ------------------------------------------------------------------

@@ -184,6 +184,14 @@ def make_trace(
     they do not accidentally share cache lines (each VM has its own
     physical allocation in the paper's setting).
     """
+    if num_accesses <= 0:
+        raise ConfigurationError(
+            f"num_accesses must be positive: {num_accesses}"
+        )
+    if base_address < 0:
+        raise ConfigurationError(
+            f"base_address must be non-negative: {base_address:#x}"
+        )
     profile = benchmark_profile(name)
     params = profile.params
     if base_address:

@@ -108,3 +108,76 @@ class TestObservability:
                      "--engine", "next_event"]) == 0
         out = capsys.readouterr().out
         assert "row hit rate" in out
+
+
+class TestResilienceCommands:
+    def _digest(self, out):
+        lines = [
+            line for line in out.splitlines()
+            if line.startswith("report digest:")
+        ]
+        assert len(lines) == 1
+        return lines[0]
+
+    def test_run_resume_digest_round_trip(self, capsys, tmp_path):
+        """The bit-identical-resume guarantee, from the command line."""
+        ckpt = tmp_path / "ckpt"
+        assert main([
+            "run", "--cycles", "6000", "--checkpoint-every", "2500",
+            "--checkpoint-dir", str(ckpt),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints: 2 taken" in out
+        digest = self._digest(out)
+
+        snap = sorted(ckpt.glob("checkpoint-*.snap"))[-1]
+        assert main(["resume", str(snap), "--until", "6000"]) == 0
+        out = capsys.readouterr().out
+        assert "kind=system cycle=5000" in out
+        assert self._digest(out) == digest
+
+    def test_resume_requires_exactly_one_target(self, capsys, tmp_path):
+        snap = str(tmp_path / "final.snap")
+        assert main([
+            "run", "--cycles", "1000", "--snapshot-out", snap,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["resume", snap]) == 2
+        assert main(["resume", snap, "--cycles", "10", "--until", "50"]) == 2
+        # --until at or before the snapshot cycle: nothing to resume.
+        assert main(["resume", snap, "--until", "1000"]) == 2
+
+    def test_run_watchdog_no_false_positive(self, capsys):
+        """A healthy shaped run under a tight budget completes cleanly."""
+        assert main([
+            "run", "--cycles", "6000", "--watchdog", "2000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stopped at cycle 6000" in out
+
+    def test_run_abort_reports_typed_error(self, capsys, tmp_path):
+        """A failing checkpoint aborts the run loudly, not silently."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the checkpoint dir should go")
+        assert main([
+            "run", "--cycles", "6000", "--checkpoint-every", "1000",
+            "--checkpoint-dir", str(blocker / "ckpt"),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "run aborted: SnapshotError" in out
+
+    def test_faults_malformed_trace(self, capsys):
+        assert main(["faults", "--scenario", "malformed-trace"]) == 0
+        out = capsys.readouterr().out
+        assert '"outcome": "typed_error"' in out
+        assert '"error": "TraceFormatError"' in out
+
+    def test_faults_livelock_quick(self, capsys, tmp_path):
+        dump = tmp_path / "livelock.json"
+        assert main([
+            "faults", "--scenario", "livelock", "--cycles", "20000",
+            "--dump", str(dump),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"error": "WatchdogError"' in out
+        assert dump.exists()

@@ -74,5 +74,6 @@ class TestReadme:
     def test_docs_folder_files_exist(self):
         for name in ("architecture.md", "security.md",
                      "experiments-howto.md", "api.md",
-                     "static-analysis.md", "observability.md"):
+                     "static-analysis.md", "observability.md",
+                     "resilience.md"):
             assert (ROOT / "docs" / name).exists()

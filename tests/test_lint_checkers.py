@@ -404,6 +404,142 @@ class TestRL005:
         assert findings == []
 
 
+# -- RL006 swallowed exceptions --------------------------------------------
+
+
+class TestRL006:
+    def test_bare_except_flagged(self):
+        findings = findings_for(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+            select=["RL006"],
+        )
+        assert ids_of(findings) == ["RL006"]
+        assert "bare except" in findings[0].message
+
+    def test_bare_except_with_reraise_clean(self):
+        findings = findings_for(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    cleanup()
+                    raise
+            """,
+            select=["RL006"],
+        )
+        assert findings == []
+
+    def test_catch_all_pass_flagged(self):
+        findings = findings_for(
+            """
+            def tick(component):
+                try:
+                    component.advance()
+                except Exception:
+                    pass
+            """,
+            select=["RL006"],
+        )
+        assert ids_of(findings) == ["RL006"]
+
+    def test_base_exception_ellipsis_flagged(self):
+        findings = findings_for(
+            """
+            def tick(component):
+                try:
+                    component.advance()
+                except BaseException:
+                    ...
+            """,
+            select=["RL006"],
+        )
+        assert ids_of(findings) == ["RL006"]
+
+    def test_catch_all_in_tuple_flagged(self):
+        findings = findings_for(
+            """
+            def drain(queue):
+                for item in queue:
+                    try:
+                        item.flush()
+                    except (ValueError, Exception):
+                        continue
+            """,
+            select=["RL006"],
+        )
+        assert ids_of(findings) == ["RL006"]
+
+    def test_narrow_typed_pass_allowed(self):
+        # Naming the exception is the statement of intent the rule
+        # wants; best-effort cleanup may legitimately ignore OSError.
+        findings = findings_for(
+            """
+            import os
+
+            def prune(path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            """,
+            select=["RL006"],
+        )
+        assert findings == []
+
+    def test_catch_all_with_handling_body_allowed(self):
+        findings = findings_for(
+            """
+            def guarded(fn, log):
+                try:
+                    return fn()
+                except Exception as exc:
+                    log.append(exc)
+                    return None
+            """,
+            select=["RL006"],
+        )
+        assert findings == []
+
+    def test_catch_all_wrap_and_reraise_allowed(self):
+        findings = findings_for(
+            """
+            from repro.common.errors import SnapshotError
+
+            def restore(blob):
+                try:
+                    return decode(blob)
+                except Exception as exc:
+                    raise SnapshotError(str(exc)) from exc
+            """,
+            select=["RL006"],
+        )
+        assert findings == []
+
+    def test_allow_paths_configurable(self):
+        config = config_from_table(
+            {"rl006": {"allow-paths": ["repro/core/mod.py"]}}
+        )
+        findings = findings_for(
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+            select=["RL006"],
+            config=config,
+        )
+        assert findings == []
+
+
 # -- suppression machinery -------------------------------------------------
 
 

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.obs",
     "repro.lint",
+    "repro.resilience",
 ]
 
 MODULES = PACKAGES + [
@@ -38,6 +39,11 @@ MODULES = PACKAGES + [
     "repro.sim.bandwidth",
     "repro.analysis.sweeps",
     "repro.workloads.phased",
+    "repro.resilience.snapshot",
+    "repro.resilience.watchdog",
+    "repro.resilience.faults",
+    "repro.resilience.scenarios",
+    "repro.resilience.runtime",
 ]
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, TraceFormatError
 from repro.cpu.trace import MemoryTrace, TraceRecord
 from repro.cpu.trace_io import load_trace, save_trace, trace_to_string
 from repro.workloads.spec import make_trace
@@ -106,3 +106,58 @@ class TestErrors:
         with pytest.raises(ConfigurationError) as excinfo:
             load_trace(path)
         assert ":1:" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "line",
+        ["5 0x40", "5 0x40 R extra", "x 0x40 R", "5 zz R", "5 0x40 Q"],
+    )
+    def test_typed_error_carries_source_and_line(self, tmp_path, line):
+        """Every malformed shape raises TraceFormatError with context."""
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n5 0x40 R\n" + line + "\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert excinfo.value.source == str(path)
+        assert excinfo.value.line == 3
+        assert ":3:" in str(excinfo.value)
+
+    def test_negative_record_fields_carry_location(self, tmp_path):
+        """TraceRecord's own range checks gain file/line context."""
+        path = tmp_path / "bad.trace"
+        path.write_text("-5 0x40 R\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert excinfo.value.line == 1
+
+    def test_corrupt_gzip_fails_typed(self, tmp_path):
+        path = tmp_path / "bad.trace.gz"
+        path.write_bytes(b"\x1f\x8b\x08\x00garbage-not-a-gzip-stream")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert excinfo.value.source == str(path)
+        assert excinfo.value.line == 0  # no single line to blame
+
+    def test_binary_file_fails_typed(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(bytes(range(256)))
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_memory_trace_rejects_non_records(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            MemoryTrace(
+                [TraceRecord(1, 0x40, is_write=False), ("not", "a", "rec")],
+                name="mixed",
+            )
+        assert excinfo.value.line == 2
+        assert "mixed" in excinfo.value.source
+
+    def test_make_trace_validates_parameters(self):
+        with pytest.raises(ConfigurationError):
+            make_trace("gcc", 0)
+        with pytest.raises(ConfigurationError):
+            make_trace("gcc", 100, base_address=-1)
+
+    def test_trace_format_error_is_configuration_error(self):
+        # Existing callers that catch the broad class keep working.
+        assert issubclass(TraceFormatError, ConfigurationError)
