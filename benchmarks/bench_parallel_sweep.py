@@ -1,0 +1,110 @@
+"""Parallel sweep executor throughput (BENCH_parallel.json).
+
+Times the 12-point Figure-2 trade-off sweep three ways — sequential
+(``jobs=1``), across 4 worker processes (``jobs=4``), and replayed
+from a warm result cache — and checks the two ISSUE-5 contracts along
+the way: the parallel output is **identical** to the sequential
+reference, and the cached replay performs **zero** simulations.
+
+Acceptance target: >= 2.5x wall-clock speedup at ``jobs=4``.  The
+speedup is hardware-dependent (it needs 4 free cores to materialise),
+so the archived ``BENCH_parallel.json`` records ``cpu_count`` next to
+the honest measurements and the target is only asserted on machines
+with at least 4 CPUs.
+"""
+
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+
+from repro.analysis.experiments import tradeoff_sweep
+from repro.obs import diag
+from repro.parallel import SweepExecutor
+
+from conftest import BENCH_DEFAULTS
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SPEEDUP_TARGET = 2.5
+JOBS = 4
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: 10 staircase scales + the CS anchor + the no-shaping anchor = 12
+#: points (11 simulation tasks plus the shared base run).
+SCALES = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.4, 1.7, 2.0)
+
+
+def _timed_sweep(jobs, cache_dir=None):
+    executor = SweepExecutor(jobs=jobs, seed=BENCH_DEFAULTS.seed,
+                             cache=cache_dir)
+    start = time.perf_counter()
+    points = tradeoff_sweep("apache", BENCH_DEFAULTS, scales=SCALES,
+                            executor=executor)
+    elapsed = time.perf_counter() - start
+    return elapsed, points, executor
+
+
+def test_parallel_sweep_speedup(record_result, tmp_path):
+    diag.reset()
+    sequential_seconds, reference, _ = _timed_sweep(jobs=1)
+    parallel_seconds, parallel_points, _ = _timed_sweep(jobs=JOBS)
+    assert parallel_points == reference, "jobs=4 diverged from jobs=1"
+
+    cache_dir = str(tmp_path / "cache")
+    _timed_sweep(jobs=1, cache_dir=cache_dir)  # warm the cache
+    cached_seconds, cached_points, cached_executor = _timed_sweep(
+        jobs=1, cache_dir=cache_dir
+    )
+    assert cached_points == reference, "cache replay diverged"
+    assert cached_executor.tasks_run == 0, "warm cache still simulated"
+
+    speedup = sequential_seconds / parallel_seconds
+    cpu_count = multiprocessing.cpu_count()
+    payload = {
+        "benchmark": "parallel sweep executor (12-point Fig 2 sweep)",
+        "points": len(reference),
+        "jobs": JOBS,
+        "cpu_count": cpu_count,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 2),
+        "speedup_target": SPEEDUP_TARGET,
+        "cache_replay_seconds": round(cached_seconds, 4),
+        "cache_replay_tasks_run": cached_executor.tasks_run,
+        "cache_replay_tasks_cached": cached_executor.tasks_cached,
+        "identical_output": True,
+    }
+    (REPO_ROOT / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    record_result("parallel_sweep", "\n".join([
+        f"points: {len(reference)} (10 staircase scales + CS + no-shaping)",
+        f"sequential (jobs=1):  {sequential_seconds:.3f}s",
+        f"parallel   (jobs={JOBS}):  {parallel_seconds:.3f}s "
+        f"-> {speedup:.2f}x (target {SPEEDUP_TARGET}x, "
+        f"{cpu_count} CPUs visible)",
+        f"cache replay:         {cached_seconds:.3f}s "
+        f"({cached_executor.tasks_cached} hits, 0 simulations)",
+        "parallel output identical to sequential: yes",
+    ]))
+
+    if _SCALE >= 1.0 and cpu_count >= JOBS:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"jobs={JOBS} speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_TARGET}x target on a {cpu_count}-CPU machine"
+        )
+
+
+if __name__ == "__main__":
+    # Allow running outside pytest (spawn-safe entry point).
+    import tempfile
+
+    class _Printer:
+        def __call__(self, name, text):
+            print(f"\n===== {name} =====\n{text}\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        test_parallel_sweep_speedup(_Printer(), pathlib.Path(tmp))

@@ -44,6 +44,37 @@ from repro.workloads.spec import make_trace
 _CORE_ADDRESS_STRIDE = 1 << 33
 
 
+def constant_rate_interval_for(
+    spec: BinSpec, target_interval: float, context: str = ""
+) -> int:
+    """The CS-baseline release interval for a target inter-arrival time.
+
+    Picks the largest bin edge not exceeding ``target_interval`` (never
+    slower than the bandwidth budget, slightly favouring the CS
+    baseline).  When *every* edge exceeds the target — the program's
+    rate outruns even the fastest bin — there is no edge on the correct
+    side, so the interval clamps to the **nearest** edge instead of
+    silently using ``spec.edges[0]`` by fall-through, and the clamp is
+    reported through :mod:`repro.obs.diag` (the old silent fallback
+    happened to equal the nearest edge, but an anchor that cannot honour
+    its bandwidth target is exactly the kind of comparability hazard the
+    sweep's reader needs to see).
+    """
+    from repro.obs.diag import emit_diagnostic
+
+    eligible = [edge for edge in spec.edges if edge <= target_interval]
+    if eligible:
+        return max(eligible)
+    nearest = min(spec.edges, key=lambda e: (abs(e - target_interval), e))
+    emit_diagnostic(
+        "analysis.cs_interval_clamped",
+        context=context,
+        target_interval=float(target_interval),
+        interval=int(nearest),
+    )
+    return nearest
+
+
 @dataclass(frozen=True)
 class ExperimentDefaults:
     """Shared experiment knobs.
@@ -268,13 +299,10 @@ def reqc_speedup_experiment(
     base_report = run_alone(benchmark, defaults)
     rate = intrinsic.total / max(1, base_report.cycles_run)
     target_interval = 1.0 / max(rate * headroom, 1e-9)
-    # The constant shaper's interval must be one of the bin edges;
-    # choose the largest edge not exceeding the target (never slower
-    # than the budget, slightly favouring the CS baseline).
-    interval = spec.edges[0]
-    for edge in spec.edges:
-        if edge <= target_interval:
-            interval = edge
+    # The constant shaper's interval must be one of the bin edges.
+    interval = constant_rate_interval_for(
+        spec, target_interval, context=f"reqc_speedup:{benchmark}"
+    )
     budget = spec.replenish_period // interval
 
     cs_config = constant_rate_config(spec, interval)
@@ -638,26 +666,32 @@ def measure_mi_suite(
 
     base = run_mix(names, defaults)
     base_stats = base.core(1)
+    # The anchor must use the same estimator configuration as every
+    # shaped row (bias correction included), or the table's rows are
+    # not mutually comparable.
     self_mi = interarrival_mi(
-        base_stats.request_intrinsic.gaps, base_stats.request_intrinsic.gaps, spec
+        base_stats.request_intrinsic.gaps,
+        base_stats.request_intrinsic.gaps,
+        spec,
+        bias_correction=True,
     )
     base_times = times(base_stats.request_intrinsic)
 
     rate = base_stats.request_intrinsic.total / max(1, base.cycles_run)
     camo_config = staircase_config(spec, rate * 1.2)
     # Constant-rate interval: the largest edge sustaining 1.2x the rate.
-    target_interval = 1.0 / max(rate * 1.2, 1e-9)
-    cs_interval = spec.edges[0]
-    for edge in spec.edges:
-        if edge <= target_interval:
-            cs_interval = edge
+    cs_interval = constant_rate_interval_for(
+        spec, 1.0 / max(rate * 1.2, 1e-9),
+        context=f"measure_mi:{protected}",
+    )
     cs_config = constant_rate_config(spec, cs_interval)
 
     results: Dict[str, Dict[str, float]] = {
         "no_shaping": {
             "paired": self_mi,
             "windowed": windowed_rate_mi(
-                base_times, base_times, window_cycles, base.cycles_run
+                base_times, base_times, window_cycles, base.cycles_run,
+                bias_correction=True,
             ),
         }
     }
@@ -857,12 +891,32 @@ def covert_interference_experiment(
 # ---------------------------------------------------------------------------
 
 
+def _resolve_executor(executor, jobs: int, cache_dir: Optional[str],
+                      seed: int):
+    """The executor an experiment fans out through.
+
+    An explicitly passed ``executor`` wins (callers can share one
+    cache/seed counter across experiments); otherwise a fresh
+    :class:`~repro.parallel.executor.SweepExecutor` is built from
+    ``jobs``/``cache_dir``.  Imported lazily — the parallel layer
+    depends on this module's task helpers.
+    """
+    if executor is not None:
+        return executor
+    from repro.parallel import SweepExecutor
+
+    return SweepExecutor(jobs=jobs, seed=seed, cache=cache_dir)
+
+
 def tradeoff_sweep(
     benchmark: str = "apache",
     defaults: ExperimentDefaults = ExperimentDefaults(),
     scales: Sequence[float] = (0.6, 0.8, 1.0, 1.4, 2.0),
     window_cycles: int = 2048,
     replenish_period: int = 512,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor=None,
 ) -> List[Dict[str, float]]:
     """Sweep Camouflage configs between CS and no shaping (Fig 2).
 
@@ -873,55 +927,65 @@ def tradeoff_sweep(
     scales: tight budgets sit near the CS corner (secure, slow), loose
     budgets approach no-shaping performance while leaking more — the
     trade-off space Figure 2 sketches.
+
+    Every point (the no-shaping anchor included) estimates MI with the
+    same ``bias_correction=True`` configuration — mixing estimators
+    across one curve was the ISSUE-5 comparability bug.  The shaped
+    points are independent simulations and fan out through
+    ``jobs``/``cache_dir``/``executor`` (see docs/parallel.md); the
+    returned points additionally carry each run's ``digest``.
     """
+    from repro.parallel.tasks import (
+        _event_times,
+        alone_base_task,
+        make_run_payload,
+        tradeoff_point_task,
+    )
+
     spec = BinSpec(edges=defaults.spec.edges, replenish_period=replenish_period)
-    base = run_alone(benchmark, defaults)
-    intrinsic = base.core(0).request_intrinsic
-    base_rate = intrinsic.total / max(1, base.cycles_run)
+    runner = _resolve_executor(executor, jobs, cache_dir, defaults.seed)
 
-    def times(hist: InterArrivalHistogram) -> List[int]:
-        out, t = [], 0
-        for g in hist.gaps:
-            t += g
-            out.append(t)
-        return out
-
-    def evaluate(label: str, config: BinConfiguration) -> Dict[str, float]:
-        report = run_alone(
-            benchmark, defaults,
-            request_plan=RequestShapingPlan(config=config, spec=spec),
-        )
-        stats = report.core(0)
-        mi = windowed_rate_mi(
-            times(stats.request_intrinsic),
-            times(stats.request_shaped),
-            window_cycles,
-            report.cycles_run,
-            bias_correction=True,
-        )
-        return {"label": label, "ipc": stats.ipc, "mi": mi}
+    [base] = runner.map(
+        alone_base_task, [make_run_payload(benchmark, defaults)],
+        kind="alone-base", labels=[f"{benchmark}:base"],
+    )
+    base_rate = len(base["gaps"]) / max(1, base["cycles_run"])
 
     # CS anchor: constant interval near the program's average rate.
-    target_interval = 1.0 / max(base_rate, 1e-9)
-    cs_interval = spec.edges[0]
-    for edge in spec.edges:
-        if edge <= target_interval:
-            cs_interval = edge
-    points = [evaluate("cs", constant_rate_config(spec, cs_interval))]
-    base_times = times(intrinsic)
-    points.append(
-        {
-            "label": "no-shaping",
-            "ipc": base.core(0).ipc,
-            "mi": windowed_rate_mi(
-                base_times, base_times, window_cycles, base.cycles_run
-            ),
-        }
+    cs_interval = constant_rate_interval_for(
+        spec, 1.0 / max(base_rate, 1e-9), context=f"tradeoff:{benchmark}"
     )
+
+    def point_payload(label: str, config: BinConfiguration) -> Dict:
+        payload = make_run_payload(benchmark, defaults, spec=spec)
+        payload["credits"] = list(config.credits)
+        payload["window_cycles"] = window_cycles
+        payload["label"] = label
+        return payload
+
+    shaped = [point_payload("cs", constant_rate_config(spec, cs_interval))]
     for scale in scales:
-        config = staircase_config(spec, base_rate * scale)
-        points.append(evaluate(f"camo-x{scale}", config))
-    return points
+        shaped.append(
+            point_payload(
+                f"camo-x{scale}", staircase_config(spec, base_rate * scale)
+            )
+        )
+    shaped_points = runner.map(
+        tradeoff_point_task, shaped, kind="tradeoff-point",
+        labels=[p["label"] for p in shaped],
+    )
+
+    base_times = _event_times(base["gaps"])
+    no_shaping = {
+        "label": "no-shaping",
+        "ipc": base["ipc"],
+        "mi": windowed_rate_mi(
+            base_times, base_times, window_cycles, base["cycles_run"],
+            bias_correction=True,
+        ),
+        "digest": base["digest"],
+    }
+    return [shaped_points[0], no_shaping] + shaped_points[1:]
 
 
 def scalability_experiment(
@@ -929,6 +993,9 @@ def scalability_experiment(
     defaults: ExperimentDefaults = ExperimentDefaults(),
     core_counts: Sequence[int] = (2, 4, 8),
     tp_turn_length: int = 128,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor=None,
 ) -> Dict[int, Dict[str, float]]:
     """Section II-B's scalability claim: TP vs Camouflage vs core count.
 
@@ -940,39 +1007,67 @@ def scalability_experiment(
     domains exist.
 
     Returns per-core-count average slowdowns for FR-FCFS (contention
-    only), TP, and per-core ReqC Camouflage.
+    only), TP, and per-core ReqC Camouflage.  The per-(core-count,
+    baseline) mixes are independent simulations and fan out through
+    ``jobs``/``cache_dir``/``executor`` (see docs/parallel.md).
     """
-    results: Dict[int, Dict[str, float]] = {}
-    alone_ipc = run_alone(benchmark, defaults).core(0).ipc
-    base_rate_report = run_alone(benchmark, defaults)
-    base_rate = (
-        base_rate_report.core(0).request_intrinsic.total
-        / max(1, base_rate_report.cycles_run)
+    from repro.parallel.tasks import (
+        alone_base_task,
+        make_run_payload,
+        mix_slowdown_task,
     )
+
+    runner = _resolve_executor(executor, jobs, cache_dir, defaults.seed)
+    [base] = runner.map(
+        alone_base_task, [make_run_payload(benchmark, defaults)],
+        kind="alone-base", labels=[f"{benchmark}:base"],
+    )
+    alone_ipc = base["ipc"]
+    base_rate = len(base["gaps"]) / max(1, base["cycles_run"])
+    camo_credits = list(
+        staircase_config(defaults.spec, base_rate * 1.15).credits
+    )
+
+    def mix_payload(n: int, **kwargs) -> Dict:
+        payload = make_run_payload(benchmark, defaults)
+        del payload["benchmark"]
+        payload["names"] = [benchmark] * n
+        payload["alone_ipcs"] = [alone_ipc] * n
+        payload.update(kwargs)
+        return payload
+
+    payloads, labels = [], []
     for n in core_counts:
-        names = [benchmark] * n
-        frfcfs = run_mix(names, defaults)
-        tp = run_mix(
-            names, defaults, scheduler="tp",
-            scheduler_kwargs={"turn_length": tp_turn_length},
-        )
-        camo_plans = {
-            core: RequestShapingPlan(
-                config=staircase_config(defaults.spec, base_rate * 1.15),
-                spec=defaults.spec,
+        payloads.append(mix_payload(n))
+        labels.append(f"frfcfs:n{n}")
+        payloads.append(
+            mix_payload(
+                n, scheduler="tp",
+                scheduler_kwargs={"turn_length": tp_turn_length},
             )
-            for core in range(n)
-        }
-        camo = run_mix(names, defaults, request_plans=camo_plans)
+        )
+        labels.append(f"tp:n{n}")
+        payloads.append(
+            mix_payload(
+                n,
+                request_plans={
+                    str(core): {"credits": camo_credits}
+                    for core in range(n)
+                },
+            )
+        )
+        labels.append(f"camo:n{n}")
 
-        def avg(report: SystemReport) -> float:
-            ipcs = [c.ipc for c in report.cores]
-            return _avg_slowdown(ipcs, [alone_ipc] * len(ipcs))
-
+    rows = runner.map(
+        mix_slowdown_task, payloads, kind="mix-slowdown", labels=labels
+    )
+    results: Dict[int, Dict[str, float]] = {}
+    for position, n in enumerate(core_counts):
+        frfcfs, tp, camo = rows[3 * position: 3 * position + 3]
         results[n] = {
-            "frfcfs": avg(frfcfs),
-            "tp": avg(tp),
-            "camouflage": avg(camo),
+            "frfcfs": frfcfs["slowdown"],
+            "tp": tp["slowdown"],
+            "camouflage": camo["slowdown"],
         }
     return results
 

@@ -5,28 +5,53 @@ does not pin down (TP turn length, FS slot interval).  These sweeps
 make the sensitivity explicit, so the comparison's fairness can be
 audited: the benchmark harness runs them and EXPERIMENTS.md reports
 where each baseline was operated relative to its own optimum.
+
+Every sweep's points are independent simulations, so each function
+accepts ``jobs``/``cache_dir``/``executor`` and fans out through
+:class:`repro.parallel.SweepExecutor` (docs/parallel.md); results are
+merged in submission order and are bit-identical for every ``jobs``
+value.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.experiments import (
     ExperimentDefaults,
-    _avg_slowdown,
     _mix_names,
-    run_alone,
-    run_mix,
+    _resolve_executor,
+)
+from repro.parallel.tasks import (
+    alone_ipc_task,
+    make_run_payload,
+    mesh_position_task,
+    mix_slowdown_task,
+    noc_latency_task,
 )
 
 
-def _alone_ipcs(names: Sequence[str], defaults: ExperimentDefaults):
-    return [
-        run_alone(name, defaults, core_slot=slot).core(0).ipc
-        for slot, name in enumerate(names)
-    ]
+def _alone_ipcs(names: Sequence[str], defaults: ExperimentDefaults, runner):
+    payloads = []
+    for slot, name in enumerate(names):
+        payload = make_run_payload(name, defaults)
+        payload["core_slot"] = slot
+        payloads.append(payload)
+    rows = runner.map(
+        alone_ipc_task, payloads, kind="alone-ipc",
+        labels=[f"{name}:slot{slot}" for slot, name in enumerate(names)],
+    )
+    return [row["ipc"] for row in rows]
+
+
+def _mix_payload(names: Sequence[str], defaults: ExperimentDefaults,
+                 alone, **kwargs) -> Dict:
+    payload = make_run_payload(names[0], defaults)
+    del payload["benchmark"]
+    payload["names"] = list(names)
+    payload["alone_ipcs"] = list(alone)
+    payload.update(kwargs)
+    return payload
 
 
 def tp_turn_length_sweep(
@@ -34,6 +59,9 @@ def tp_turn_length_sweep(
     victim: str = "mcf",
     defaults: ExperimentDefaults = ExperimentDefaults(),
     turn_lengths: Sequence[int] = (64, 96, 128, 192, 256, 384),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor=None,
 ) -> Dict[int, float]:
     """Average slowdown of TP across turn lengths.
 
@@ -41,16 +69,24 @@ def tp_turn_length_sweep(
     non-owners wait longer.  The sweep exposes the U-shape and shows
     where the Figure 13 default (128) sits.
     """
+    runner = _resolve_executor(executor, jobs, cache_dir, defaults.seed)
     names = _mix_names(adversary, victim)
-    alone = _alone_ipcs(names, defaults)
-    out: Dict[int, float] = {}
-    for turn in turn_lengths:
-        report = run_mix(
-            names, defaults, scheduler="tp",
-            scheduler_kwargs={"turn_length": turn},
-        )
-        out[turn] = _avg_slowdown([c.ipc for c in report.cores], alone)
-    return out
+    alone = _alone_ipcs(names, defaults, runner)
+    rows = runner.map(
+        mix_slowdown_task,
+        [
+            _mix_payload(
+                names, defaults, alone, scheduler="tp",
+                scheduler_kwargs={"turn_length": turn},
+            )
+            for turn in turn_lengths
+        ],
+        kind="mix-slowdown",
+        labels=[f"tp:turn{turn}" for turn in turn_lengths],
+    )
+    return {
+        turn: row["slowdown"] for turn, row in zip(turn_lengths, rows)
+    }
 
 
 def fs_interval_sweep(
@@ -59,6 +95,9 @@ def fs_interval_sweep(
     defaults: ExperimentDefaults = ExperimentDefaults(),
     intervals: Sequence[int] = (12, 16, 20, 24, 32, 48),
     bank_partitioning: bool = True,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor=None,
 ) -> Dict[int, Dict[str, float]]:
     """FS (+banks) across slot intervals: slowdown AND leak proxy.
 
@@ -68,45 +107,56 @@ def fs_interval_sweep(
     :meth:`FixedServiceScheduler.slip_fraction`).  The Figure 13
     comparison must use the best interval among the leak-free ones.
     """
-    from repro.analysis.experiments import _build_mix
-
+    runner = _resolve_executor(executor, jobs, cache_dir, defaults.seed)
     names = _mix_names(adversary, victim)
-    alone = _alone_ipcs(names, defaults)
-    out: Dict[int, Dict[str, float]] = {}
-    for interval in intervals:
-        system = _build_mix(
-            names, defaults, scheduler="fs",
-            scheduler_kwargs={"interval": interval},
-            bank_partitioning=bank_partitioning,
-        )
-        report = system.run(defaults.cycles, stop_when_done=False)
-        out[interval] = {
-            "slowdown": _avg_slowdown([c.ipc for c in report.cores], alone),
-            "slip_fraction": system.scheduler.slip_fraction(),
+    alone = _alone_ipcs(names, defaults, runner)
+    rows = runner.map(
+        mix_slowdown_task,
+        [
+            _mix_payload(
+                names, defaults, alone, scheduler="fs",
+                scheduler_kwargs={"interval": interval},
+                bank_partitioning=bank_partitioning,
+            )
+            for interval in intervals
+        ],
+        kind="mix-slowdown",
+        labels=[f"fs:interval{interval}" for interval in intervals],
+    )
+    return {
+        interval: {
+            "slowdown": row["slowdown"],
+            "slip_fraction": row["slip_fraction"],
         }
-    return out
+        for interval, row in zip(intervals, rows)
+    }
 
 
 def noc_latency_sweep(
     benchmark: str = "mcf",
     defaults: ExperimentDefaults = ExperimentDefaults(),
     latencies: Sequence[int] = (1, 2, 4, 8, 16),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor=None,
 ) -> Dict[int, float]:
     """Single-core mean memory latency vs NoC hop latency (sanity
     sweep for the substrate: end-to-end latency must grow by exactly
     2x the added hop latency — request plus response traversal)."""
-    from repro.sim.system import SystemBuilder
-    from repro.workloads.spec import make_trace
-
-    out: Dict[int, float] = {}
+    runner = _resolve_executor(executor, jobs, cache_dir, defaults.seed)
+    payloads = []
     for latency in latencies:
-        builder = SystemBuilder(seed=defaults.seed)
-        builder.with_noc(latency=latency)
-        builder.add_core(make_trace(benchmark, defaults.accesses,
-                                    seed=defaults.seed))
-        report = builder.build().run(defaults.cycles, stop_when_done=False)
-        out[latency] = report.core(0).mean_memory_latency()
-    return out
+        payload = make_run_payload(benchmark, defaults)
+        payload["noc_latency"] = latency
+        payloads.append(payload)
+    rows = runner.map(
+        noc_latency_task, payloads, kind="noc-latency",
+        labels=[f"noc:hop{latency}" for latency in latencies],
+    )
+    return {
+        latency: row["mean_latency"]
+        for latency, row in zip(latencies, rows)
+    }
 
 
 def mesh_position_leakage(
@@ -114,6 +164,9 @@ def mesh_position_leakage(
     victims: Sequence[str] = ("mcf", "astar"),
     shaped: bool = False,
     num_cores: int = 8,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor=None,
 ) -> Dict[int, float]:
     """Per-position side-channel strength on the mesh NoC.
 
@@ -127,47 +180,19 @@ def mesh_position_leakage(
     predetermined distribution the two worlds look alike at *every*
     position.
     """
-    from repro.analysis.experiments import staircase_config
-    from repro.core.bins import BinSpec
-    from repro.security.attacks import corunner_distinguishability
-    from repro.sim.system import RequestShapingPlan, SystemBuilder
-    from repro.workloads.spec import make_trace
-
-    spec = BinSpec(replenish_period=512)
-    out: Dict[int, float] = {}
-    adversary_position = 0  # fixed; the victim's position varies
-
-    def run(victim_name: str, position: int):
-        builder = SystemBuilder(seed=defaults.seed).with_noc(topology="mesh")
-        for core in range(num_cores):
-            if core == adversary_position:
-                builder.add_core(
-                    make_trace("gcc", defaults.accesses, seed=1)
-                )
-            elif core == position:
-                plan = None
-                if shaped:
-                    # One predetermined distribution for either program
-                    # — what makes the worlds indistinguishable.
-                    plan = RequestShapingPlan(
-                        config=staircase_config(spec, 1 / 16), spec=spec
-                    )
-                builder.add_core(
-                    make_trace(victim_name, defaults.accesses,
-                               seed=2 + core, base_address=core << 33),
-                    request_shaping=plan,
-                )
-            else:
-                builder.add_core(
-                    make_trace("sjeng", defaults.accesses // 4,
-                               seed=50 + core, base_address=core << 33)
-                )
-        system = builder.build()
-        report = system.run(defaults.cycles, stop_when_done=False)
-        return report.core(adversary_position).memory_latencies
-
-    for position in range(1, num_cores):
-        world_a = run(victims[0], position)
-        world_b = run(victims[1], position)
-        out[position] = corunner_distinguishability(world_a, world_b)
-    return out
+    runner = _resolve_executor(executor, jobs, cache_dir, defaults.seed)
+    positions = list(range(1, num_cores))
+    payloads = []
+    for position in positions:
+        payload = make_run_payload("gcc", defaults)
+        del payload["benchmark"]
+        payload.update(
+            victims=list(victims), position=position,
+            shaped=bool(shaped), num_cores=int(num_cores),
+        )
+        payloads.append(payload)
+    rows = runner.map(
+        mesh_position_task, payloads, kind="mesh-position",
+        labels=[f"mesh:pos{position}" for position in positions],
+    )
+    return {row["position"]: row["distinguishability"] for row in rows}

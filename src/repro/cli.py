@@ -7,8 +7,10 @@ Usage::
     python -m repro.cli fig12 --benchmark mcf
     python -m repro.cli covert --key 0x2AAAAAAA --bits 32 [--no-shaping]
     python -m repro.cli mi
-    python -m repro.cli tradeoff --benchmark apache
+    python -m repro.cli tradeoff --benchmark apache --jobs 4
     python -m repro.cli fig13 --adversary gcc --victim mcf
+    python -m repro.cli sweep tradeoff --jobs 4 --cache-dir .repro-cache
+    python -m repro.cli cache ls --cache-dir .repro-cache
     python -m repro.cli lint [paths...] [--format json]
 
 Each subcommand runs the corresponding experiment driver from
@@ -51,7 +53,21 @@ _EXPERIMENTS = {
     "run": "run a BDC-shaped mix with checkpoints and a stall watchdog",
     "resume": "restore a checkpoint and continue the run bit-identically",
     "faults": "run a fault-injection scenario (repro.resilience harness)",
+    "sweep": "run a parameter sweep across worker processes (--jobs)",
+    "cache": "inspect/prune/clear the sweep result cache",
 }
+
+#: Sweeps runnable via ``repro sweep <name>``; each maps to a driver
+#: accepting (defaults, executor) — results print as canonical JSON so
+#: ``--jobs 1`` and ``--jobs N`` outputs can be byte-compared.
+_SWEEP_NAMES = (
+    "tradeoff",
+    "scalability",
+    "tp-turn",
+    "fs-interval",
+    "noc-latency",
+    "mesh-position",
+)
 
 
 def _defaults(args) -> ExperimentDefaults:
@@ -179,11 +195,89 @@ def _cmd_calibrate(args) -> int:
 
 
 def _cmd_tradeoff(args) -> int:
-    points = tradeoff_sweep(args.benchmark, _defaults(args))
+    points = tradeoff_sweep(
+        args.benchmark, _defaults(args),
+        jobs=args.jobs, cache_dir=args.cache_dir,
+    )
     print(format_table(
-        ["config", "ipc", "mi_bits"],
-        [[p["label"], p["ipc"], p["mi"]] for p in points],
+        ["config", "ipc", "mi_bits", "digest"],
+        [[p["label"], p["ipc"], p["mi"], p["digest"]] for p in points],
     ))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import json as json_module
+
+    from repro.analysis.experiments import scalability_experiment
+    from repro.analysis.sweeps import (
+        fs_interval_sweep,
+        mesh_position_leakage,
+        noc_latency_sweep,
+        tp_turn_length_sweep,
+    )
+    from repro.common.util import canonical_doc
+    from repro.parallel import SweepExecutor
+
+    defaults = _defaults(args)
+    executor = SweepExecutor(
+        jobs=args.jobs, seed=defaults.seed, cache=args.cache_dir
+    )
+    drivers = {
+        "tradeoff": lambda: tradeoff_sweep(
+            args.benchmark or "apache", defaults, executor=executor
+        ),
+        "scalability": lambda: scalability_experiment(
+            args.benchmark or "gcc", defaults, executor=executor
+        ),
+        "tp-turn": lambda: tp_turn_length_sweep(
+            defaults=defaults, executor=executor
+        ),
+        "fs-interval": lambda: fs_interval_sweep(
+            defaults=defaults, executor=executor
+        ),
+        "noc-latency": lambda: noc_latency_sweep(
+            args.benchmark or "mcf", defaults, executor=executor
+        ),
+        "mesh-position": lambda: mesh_position_leakage(
+            defaults=defaults, executor=executor
+        ),
+    }
+    result = drivers[args.name]()
+    # Canonical JSON on stdout: `repro sweep X --jobs 1` and `--jobs 4`
+    # outputs must be byte-identical (the CI parallel-smoke check).
+    print(json_module.dumps(
+        canonical_doc(result), sort_keys=True, indent=2
+    ))
+    print(
+        f"tasks: run={executor.tasks_run} cached={executor.tasks_cached} "
+        f"retries={executor.retries}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.parallel import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.verb == "ls":
+        entries = cache.entries()
+        print(format_table(
+            ["digest", "kind", "bytes"],
+            [[e.digest, e.kind, e.size_bytes] for e in entries],
+        ))
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+              f"in {args.cache_dir}")
+        return 0
+    if args.verb == "prune":
+        removed = cache.prune(
+            keep=args.keep, older_than_days=args.older_than_days
+        )
+    else:  # clear
+        removed = cache.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {args.cache_dir}")
     return 0
 
 
@@ -436,6 +530,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tradeoff", help=_EXPERIMENTS["tradeoff"])
     p.add_argument("--benchmark", default="apache", choices=BENCHMARK_NAMES)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep points")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache directory")
+
+    p = sub.add_parser("sweep", help=_EXPERIMENTS["sweep"])
+    p.add_argument("name", choices=_SWEEP_NAMES,
+                   help="which sweep to run")
+    p.add_argument("--benchmark", default=None, choices=BENCHMARK_NAMES,
+                   help="override the sweep's default benchmark")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = inline, the reference)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache directory")
+
+    p = sub.add_parser("cache", help=_EXPERIMENTS["cache"])
+    p.add_argument("verb", choices=("ls", "prune", "clear"))
+    p.add_argument("--cache-dir", required=True, metavar="DIR")
+    p.add_argument("--keep", type=int, default=None, metavar="N",
+                   help="prune: retain only the newest N entries")
+    p.add_argument("--older-than-days", type=float, default=None,
+                   metavar="DAYS",
+                   help="prune: remove entries older than DAYS")
 
     p = sub.add_parser("calibrate", help=_EXPERIMENTS["calibrate"])
     p.add_argument("--benchmark", default=None, choices=BENCHMARK_NAMES)
@@ -555,6 +672,8 @@ _HANDLERS = {
     "run": _cmd_run,
     "resume": _cmd_resume,
     "faults": _cmd_faults,
+    "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
 }
 
 

@@ -93,6 +93,32 @@ class ResilienceError(ReproError):
     """Base class for checkpoint/restore and fault-harness failures."""
 
 
+class WorkerFailureError(ResilienceError):
+    """A parallel worker task failed after exhausting its retry budget.
+
+    Raised by :class:`repro.parallel.SweepExecutor` when a task keeps
+    raising, keeps timing out, or its worker process keeps dying across
+    ``RetryPolicy.max_attempts`` attempts.  ``task_index`` and
+    ``label`` identify the shard; ``attempts`` counts what was tried;
+    ``last_error`` holds the final attempt's stringified cause (the
+    original exception object may not survive the process boundary).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_index: int = -1,
+        label: str = "",
+        attempts: int = 0,
+        last_error: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class SnapshotError(ResilienceError):
     """A snapshot could not be written, parsed or restored.
 

@@ -14,6 +14,7 @@ vectorised draws can call :meth:`DeterministicRng.numpy_generator`.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 import numpy as np
@@ -50,6 +51,27 @@ class DeterministicRng:
             (1 << 64) - 1
         )
         return DeterministicRng(mixed)
+
+    def substream(self, task_id: int) -> "DeterministicRng":
+        """Derive the worker stream for parallel task ``task_id``.
+
+        Unlike :meth:`fork` (a fast linear mix for in-process
+        subsystems), substream derivation is domain-separated through
+        SHA-256 over ``(tag, seed, task_id)``: the child seed cannot
+        collide with the parent seed, with any :meth:`fork` child, or
+        with another task's substream short of a hash collision.  This
+        is the derivation :class:`repro.parallel.SweepExecutor` uses to
+        seed worker processes — it depends only on the construction
+        seed and the task id, never on draws already taken from this
+        generator or on worker scheduling, so a task's stream is the
+        same under any ``--jobs`` value and under fork or spawn start
+        methods.
+        """
+        if task_id < 0:
+            raise ValueError(f"task_id must be non-negative, got {task_id}")
+        material = b"repro.substream\x00%d\x00%d" % (self._seed, task_id)
+        digest = hashlib.sha256(material).digest()
+        return DeterministicRng(int.from_bytes(digest[:8], "big"))
 
     def numpy_generator(self) -> np.random.Generator:
         """Return a numpy Generator seeded from this stream."""

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 
 def ceil_div(numerator: int, denominator: int) -> int:
@@ -55,6 +57,67 @@ def geometric_mean(values: Iterable[float]) -> float:
     if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires strictly positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def canonical_doc(value: Any) -> Any:
+    """Reduce ``value`` to a canonical JSON-typed document.
+
+    The normal form behind every fingerprint in the repo
+    (:func:`repro.sim.stats.report_digest` for run *outputs*,
+    :func:`repro.parallel.cache.config_digest` for run *inputs*):
+    dataclasses become sorted dicts, tuples/sets become lists, numpy
+    scalars and arrays collapse to their Python values, and anything
+    else must already be a JSON scalar.  Two configurations that would
+    drive identical simulations normalise to equal documents.
+    """
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_doc(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                key = str(key)
+            out[key] = canonical_doc(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonical_doc(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical_doc(item) for item in value)
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if hasattr(value, "tolist") and hasattr(value, "dtype"):
+        # numpy scalar or array — collapse to Python values (tolist
+        # handles both; item() would reject multi-element arrays).
+        return canonical_doc(value.tolist())
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(
+                f"non-finite float {value!r} cannot be fingerprinted"
+            )
+        return value
+    raise TypeError(
+        f"value of type {type(value).__name__} is not canonicalisable"
+    )
+
+
+def canonical_json_digest(doc: Any, length: int = 16) -> str:
+    """SHA-256 over the canonical JSON encoding of ``doc``.
+
+    ``doc`` is passed through :func:`canonical_doc` first, then dumped
+    with sorted keys and no whitespace so the digest is independent of
+    dict insertion order and container flavour (tuple vs list).
+    """
+    blob = json.dumps(
+        canonical_doc(doc), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
 
 
 def cumulative_sum(values: Sequence[float]) -> list:

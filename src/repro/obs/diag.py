@@ -1,0 +1,78 @@
+"""Process-global diagnostics channel for code outside any System.
+
+The event tracer (:class:`~repro.obs.tracer.EventTracer`) is wired
+per-system, but some observations happen where no system exists yet:
+experiment drivers deriving configurations, the parallel sweep
+executor scheduling work across processes, the result cache deciding
+hit or miss.  This module gives that code one shared, bounded, always-on
+recorder so diagnostics are inspectable in tests and surfaced by the
+CLI without threading a tracer through every analysis signature.
+
+Determinism: diagnostics are stamped with a monotonically increasing
+sequence number (``cycle`` in the event model) rather than wall-clock
+time, so a run's diagnostic stream is a pure function of the work it
+performed.  :func:`reset` clears both the buffer and the sequence
+counter — tests use it to isolate assertions.
+
+The recorder is intentionally per-process: worker processes spawned by
+:class:`repro.parallel.SweepExecutor` accumulate their own streams,
+and the executor re-emits worker-side diagnostics it cares about in
+the parent (cache and scheduling decisions all happen parent-side).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.events import CATEGORY_ANALYSIS, SYSTEM_CORE, TraceEvent
+from repro.obs.ring import RingBuffer
+
+#: Retained diagnostics; oldest evicted first.
+DIAG_LIMIT = 1024
+
+_ring: RingBuffer = RingBuffer(DIAG_LIMIT)
+_sequence = 0
+
+
+def emit_diagnostic(
+    name: str,
+    category: str = CATEGORY_ANALYSIS,
+    core_id: int = SYSTEM_CORE,
+    **args,
+) -> TraceEvent:
+    """Record one diagnostic event and return it."""
+    global _sequence
+    event = TraceEvent(
+        cycle=_sequence,
+        category=category,
+        name=name,
+        core_id=core_id,
+        args=tuple(sorted(args.items())),
+    )
+    _sequence += 1
+    _ring.append(event)
+    return event
+
+
+def recent(
+    name: Optional[str] = None, category: Optional[str] = None
+) -> List[TraceEvent]:
+    """Retained diagnostics, oldest first, optionally filtered."""
+    events = _ring.snapshot()
+    if category is not None:
+        events = [e for e in events if e.category == category]
+    if name is not None:
+        events = [e for e in events if e.name == name]
+    return events
+
+
+def count(name: Optional[str] = None, category: Optional[str] = None) -> int:
+    """Number of retained diagnostics matching the filters."""
+    return len(recent(name=name, category=category))
+
+
+def reset() -> None:
+    """Drop all retained diagnostics and restart the sequence counter."""
+    global _ring, _sequence
+    _ring = RingBuffer(DIAG_LIMIT)
+    _sequence = 0

@@ -27,6 +27,16 @@ CATEGORY_MONITOR = "monitor"
 #: Resilience events: checkpoints taken, watchdog dumps, injected
 #: faults, degradation-policy activations.
 CATEGORY_RESILIENCE = "resilience"
+#: Parallel-executor events: per-shard task lifecycle (submit, run,
+#: retry, done) and result-cache hits/misses.  Stamped with the task's
+#: submission index, not a simulation cycle — the executor runs
+#: outside any one system's clock and the index is the deterministic
+#: analogue.
+CATEGORY_PARALLEL = "parallel"
+#: Analysis-layer diagnostics: experiment drivers flagging surprising
+#: configuration derivations (e.g. a constant-rate anchor clamped to
+#: the nearest bin edge because the target interval was out of range).
+CATEGORY_ANALYSIS = "analysis"
 
 ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_SHAPER,
@@ -35,6 +45,8 @@ ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_NOC,
     CATEGORY_MONITOR,
     CATEGORY_RESILIENCE,
+    CATEGORY_PARALLEL,
+    CATEGORY_ANALYSIS,
 )
 
 #: ``core_id`` used by events not attributable to a single core

@@ -1,0 +1,300 @@
+"""Deterministic fan-out of independent simulation points.
+
+:class:`SweepExecutor` runs a list of tasks — module-level functions
+applied to picklable payloads — either inline (``jobs=1``) or across
+worker processes (``jobs>1``, ``spawn`` start method), and merges the
+results **in submission order**.  Combined with the facts that every
+task is a pure function of its payload and that per-task RNG
+substreams are derived from the submission index alone
+(:meth:`~repro.common.rng.DeterministicRng.substream`), the merged
+output is bit-identical for every ``jobs`` value: parallelism is an
+execution detail, never an observable one.  docs/parallel.md states
+the full determinism contract.
+
+Layered on top:
+
+* a content-addressed result cache (:mod:`repro.parallel.cache`) —
+  tasks whose input digest already has a stored result are not run at
+  all, which turns a repeated sweep into pure file reads;
+* worker-failure retry and per-attempt timeouts via
+  :class:`repro.resilience.retry.RetryPolicy` — a worker process dying
+  (OOM killer, BrokenProcessPool) re-runs only the affected shards;
+* per-shard progress events through :mod:`repro.obs` — lifecycle
+  events land in the process-global diagnostics ring
+  (:mod:`repro.obs.diag`) and, when a tracer is attached, in that
+  tracer under :data:`~repro.obs.events.CATEGORY_PARALLEL`.
+
+The ``spawn`` start method is deliberate: it is the only start method
+available everywhere, and it guarantees workers build their state from
+the pickled payload alone — a forked copy of a warm parent could
+smuggle in mutated globals and break the jobs-invariance contract.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import inspect
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.obs import diag
+from repro.obs.events import CATEGORY_PARALLEL
+from repro.obs.tracer import NULL_TRACER
+from repro.parallel.cache import ResultCache, cache_key, config_digest
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, run_attempts
+
+try:  # py3.9 compatibility: the exception moved modules over time
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover - ancient stdlib layout
+    BrokenProcessPool = RuntimeError  # type: ignore[misc,assignment]
+
+
+def _call_task(fn: Callable[..., Any], payload: Any,
+               task_seed: Optional[int]) -> Any:
+    """Worker-side trampoline (module-level so ``spawn`` can pickle it)."""
+    if task_seed is None:
+        return fn(payload)
+    return fn(payload, task_seed=task_seed)
+
+
+def _wants_task_seed(fn: Callable[..., Any]) -> bool:
+    """Does ``fn`` declare a ``task_seed`` keyword parameter?"""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    return "task_seed" in parameters
+
+
+@dataclass
+class _Shard:
+    """Parent-side bookkeeping for one submitted task."""
+
+    index: int
+    payload: Any
+    label: str
+    task_seed: Optional[int]
+    digest: Optional[str] = None
+    cached: bool = False
+
+
+class SweepExecutor:
+    """Order-preserving, cache-aware parallel map over sweep points.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs every task inline
+        in the calling process — no pool, no pickling round-trip —
+        and is the reference ordering the parallel path must match.
+    seed:
+        Root of the per-task substream derivation.  Task *i* of the
+        executor's lifetime receives
+        ``DeterministicRng(seed).substream(i)``'s seed (only passed to
+        task functions that declare a ``task_seed`` keyword).  The
+        counter advances for cache-hit tasks too, so a warm cache
+        never shifts later tasks' seeds.
+    cache:
+        ``None``, a directory path, or a :class:`ResultCache`.  Only
+        ``map`` calls that pass ``kind`` participate in caching.
+    retry:
+        :class:`RetryPolicy` for worker attempts (default: 2 attempts,
+        no timeout).
+    tracer:
+        Optional :class:`~repro.obs.tracer.EventTracer`; lifecycle
+        events are always mirrored into :mod:`repro.obs.diag`.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        seed: int = 0,
+        cache: Optional[Any] = None,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+        tracer: Any = NULL_TRACER,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.retry = retry
+        self.tracer = tracer
+        self._seed_root = DeterministicRng(seed)
+        self._tasks_submitted = 0
+        if isinstance(cache, str):
+            cache = ResultCache(cache)
+        self.cache: Optional[ResultCache] = cache
+        self.tasks_run = 0
+        self.tasks_cached = 0
+        self.retries = 0
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, name: str, index: int, **args: Any) -> None:
+        diag.emit_diagnostic(
+            name, category=CATEGORY_PARALLEL, task=index, **args
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(index, CATEGORY_PARALLEL, name, **args)
+
+    # -- the one entry point ----------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        payloads: Sequence[Any],
+        kind: Optional[str] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every payload; results in submission order.
+
+        ``fn`` must be a module-level (picklable) function of one
+        payload, optionally accepting a ``task_seed`` keyword.
+        ``kind`` names the task family for the result cache; without
+        it (or without a cache) every task runs.  ``labels`` are
+        per-task names for events and failure messages.
+        """
+        if labels is not None and len(labels) != len(payloads):
+            raise ConfigurationError("need one label per payload")
+        wants_seed = _wants_task_seed(fn)
+        shards: List[_Shard] = []
+        for position, payload in enumerate(payloads):
+            index = self._tasks_submitted
+            self._tasks_submitted += 1
+            shards.append(
+                _Shard(
+                    index=index,
+                    payload=payload,
+                    label=(labels[position] if labels is not None
+                           else f"{kind or getattr(fn, '__name__', 'task')}"
+                                f"[{index}]"),
+                    task_seed=(self._seed_root.substream(index).seed
+                               if wants_seed else None),
+                )
+            )
+
+        results: Dict[int, Any] = {}
+        to_run: List[_Shard] = []
+        for shard in shards:
+            if self.cache is not None and kind is not None:
+                doc = self._key_doc(shard)
+                shard.digest = config_digest(kind, doc)
+                cached = self.cache.get(shard.digest)
+                if cached is not None:
+                    shard.cached = True
+                    results[shard.index] = cached
+                    self.tasks_cached += 1
+                    self._emit("parallel.cache_hit", shard.index,
+                               label=shard.label, digest=shard.digest)
+                    continue
+                self._emit("parallel.cache_miss", shard.index,
+                           label=shard.label, digest=shard.digest)
+            to_run.append(shard)
+            self._emit("parallel.task_submit", shard.index,
+                       label=shard.label)
+
+        if to_run:
+            if self.jobs == 1 or len(to_run) == 1:
+                self._run_inline(fn, to_run, results)
+            else:
+                self._run_pooled(fn, to_run, results)
+
+        for shard in to_run:
+            if self.cache is not None and shard.digest is not None:
+                self.cache.put(
+                    shard.digest,
+                    cache_key(kind, self._key_doc(shard)),
+                    results[shard.index],
+                )
+        return [results[shard.index] for shard in shards]
+
+    def _key_doc(self, shard: _Shard) -> Any:
+        if shard.task_seed is None:
+            return shard.payload
+        return {"payload": shard.payload, "task_seed": shard.task_seed}
+
+    # -- execution strategies ---------------------------------------------
+
+    def _run_inline(
+        self, fn: Callable[..., Any], to_run: List[_Shard],
+        results: Dict[int, Any],
+    ) -> None:
+        for shard in to_run:
+            def attempt(_number: int, shard: _Shard = shard) -> Any:
+                return _call_task(fn, shard.payload, shard.task_seed)
+
+            results[shard.index] = run_attempts(
+                attempt, self.retry,
+                task_index=shard.index, label=shard.label,
+                on_retry=lambda n, e, s=shard: self._on_retry(s, n, e),
+            )
+            self.tasks_run += 1
+            self._emit("parallel.task_done", shard.index, label=shard.label)
+
+    def _run_pooled(
+        self, fn: Callable[..., Any], to_run: List[_Shard],
+        results: Dict[int, Any],
+    ) -> None:
+        context = multiprocessing.get_context("spawn")
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(to_run)), mp_context=context
+        )
+        futures: Dict[int, concurrent.futures.Future] = {}
+
+        def submit(shard: _Shard) -> None:
+            futures[shard.index] = pool.submit(
+                _call_task, fn, shard.payload, shard.task_seed
+            )
+
+        try:
+            for shard in to_run:
+                submit(shard)
+            # Collect in submission order; retries resubmit into the
+            # (possibly rebuilt) pool.  Order of *collection* cannot
+            # influence results — tasks are independent — it only
+            # defines the deterministic merge.
+            for shard in to_run:
+                def attempt(number: int, shard: _Shard = shard) -> Any:
+                    nonlocal pool
+                    if number > 1 or shard.index not in futures:
+                        if getattr(pool, "_broken", False):
+                            pool.shutdown(wait=False)
+                            pool = concurrent.futures.ProcessPoolExecutor(
+                                max_workers=min(self.jobs, len(to_run)),
+                                mp_context=context,
+                            )
+                        submit(shard)
+                    future = futures.pop(shard.index)
+                    try:
+                        return future.result(
+                            timeout=self.retry.timeout_seconds
+                        )
+                    except concurrent.futures.TimeoutError:
+                        future.cancel()
+                        raise
+                    except BrokenProcessPool:
+                        # Every in-flight future died with the pool;
+                        # forget them so retries resubmit cleanly.
+                        futures.clear()
+                        raise
+
+                results[shard.index] = run_attempts(
+                    attempt, self.retry,
+                    task_index=shard.index, label=shard.label,
+                    on_retry=lambda n, e, s=shard: self._on_retry(s, n, e),
+                )
+                self.tasks_run += 1
+                self._emit("parallel.task_done", shard.index,
+                           label=shard.label)
+        finally:
+            pool.shutdown(wait=False)
+
+    def _on_retry(self, shard: _Shard, number: int,
+                  error: BaseException) -> None:
+        self.retries += 1
+        self._emit(
+            "parallel.task_retry", shard.index, label=shard.label,
+            attempt=number, error=f"{type(error).__name__}: {error}",
+        )

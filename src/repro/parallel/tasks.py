@@ -1,0 +1,379 @@
+"""Worker task functions for the parallel sweep executor.
+
+Each task here is the unit one worker process executes: a module-level
+function (so ``spawn`` can pickle a reference to it) of one plain-JSON
+payload dict, returning a plain-JSON result dict.  Keeping both sides
+JSON-typed gives three properties at once:
+
+* the payload digests canonically for the result cache
+  (:func:`repro.parallel.cache.config_digest`);
+* the result round-trips through the cache without loss, so a cache
+  hit is byte-equivalent to a fresh run;
+* the sequential (``jobs=1``) and pooled paths run the *same code* on
+  the *same values* — jobs-invariance holds by construction, and the
+  differential tests only have to confirm it survives the process
+  boundary.
+
+Every simulation task also returns the full
+:func:`~repro.sim.stats.report_digest` of its run, so sweep outputs
+can be compared point-by-point across ``--jobs`` values from the CLI.
+
+Heavy imports (the simulator stack) happen inside the functions: the
+parent builds payloads without them, and each spawned worker pays the
+import cost once for its lifetime, not once per task.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _defaults_from(payload: Dict[str, Any]):
+    from repro.analysis.experiments import ExperimentDefaults
+    from repro.core.bins import BinSpec
+
+    spec = BinSpec(
+        edges=tuple(payload["spec_edges"]),
+        replenish_period=int(payload["spec_period"]),
+    )
+    return ExperimentDefaults(
+        accesses=int(payload["accesses"]),
+        cycles=int(payload["cycles"]),
+        seed=int(payload["seed"]),
+        spec=spec,
+    ), spec
+
+
+def _event_times(gaps: Sequence[int]) -> List[int]:
+    out, t = [], 0
+    for gap in gaps:
+        t += gap
+        out.append(t)
+    return out
+
+
+def make_run_payload(benchmark: str, defaults, spec=None) -> Dict[str, Any]:
+    """The shared payload core: benchmark + run geometry + spec."""
+    spec = spec if spec is not None else defaults.spec
+    return {
+        "benchmark": benchmark,
+        "accesses": defaults.accesses,
+        "cycles": defaults.cycles,
+        "seed": defaults.seed,
+        "spec_edges": list(spec.edges),
+        "spec_period": spec.replenish_period,
+    }
+
+
+# ---------------------------------------------------------------------------
+# alone runs (sweep stage 0: baselines and intrinsic profiles)
+# ---------------------------------------------------------------------------
+
+
+def alone_base_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one benchmark alone, unshaped; return its intrinsic profile.
+
+    The result carries everything later stages derive from the base
+    run — IPC, cycle count, and the intrinsic request gap sequence —
+    so a cached base run reconstructs the sweep's anchors without
+    re-simulating.
+    """
+    from repro.analysis.experiments import run_alone
+    from repro.sim.stats import report_digest
+
+    defaults, _spec = _defaults_from(payload)
+    report = run_alone(
+        payload["benchmark"], defaults,
+        core_slot=int(payload.get("core_slot", 0)),
+    )
+    stats = report.core(0)
+    return {
+        "ipc": stats.ipc,
+        "cycles_run": report.cycles_run,
+        "gaps": list(stats.request_intrinsic.gaps),
+        "digest": report_digest(report),
+    }
+
+
+def alone_ipc_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Alone-IPC measurement at a mix slot (Figure 13 denominators)."""
+    from repro.analysis.experiments import run_alone
+    from repro.sim.stats import report_digest
+
+    defaults, _spec = _defaults_from(payload)
+    report = run_alone(
+        payload["benchmark"], defaults,
+        core_slot=int(payload.get("core_slot", 0)),
+    )
+    return {"ipc": report.core(0).ipc, "digest": report_digest(report)}
+
+
+# ---------------------------------------------------------------------------
+# trade-off sweep points (Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def tradeoff_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One shaped point of the Figure 2 trade-off sweep.
+
+    Runs the benchmark alone under the payload's credit configuration
+    and reports IPC plus the windowed-rate MI between the intrinsic
+    and shaped request streams.  ``bias_correction`` is always on —
+    every point of the sweep, anchors included, must use one estimator
+    configuration or the curve is not mutually comparable (the
+    ISSUE-5 anchor bug).
+    """
+    from repro.analysis.experiments import run_alone
+    from repro.core.bins import BinConfiguration
+    from repro.security.mutual_information import windowed_rate_mi
+    from repro.sim.stats import report_digest
+    from repro.sim.system import RequestShapingPlan
+
+    defaults, spec = _defaults_from(payload)
+    config = BinConfiguration(tuple(payload["credits"]))
+    report = run_alone(
+        payload["benchmark"], defaults,
+        request_plan=RequestShapingPlan(config=config, spec=spec),
+    )
+    stats = report.core(0)
+    mi = windowed_rate_mi(
+        _event_times(stats.request_intrinsic.gaps),
+        _event_times(stats.request_shaped.gaps),
+        int(payload["window_cycles"]),
+        report.cycles_run,
+        bias_correction=True,
+    )
+    return {
+        "label": payload["label"],
+        "ipc": stats.ipc,
+        "mi": mi,
+        "digest": report_digest(report),
+    }
+
+
+# ---------------------------------------------------------------------------
+# mix slowdown points (TP / FS sweeps, scalability)
+# ---------------------------------------------------------------------------
+
+
+def mix_slowdown_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one protected mix; report per-core IPCs and avg slowdown.
+
+    ``payload["names"]`` is the program mix, ``scheduler`` /
+    ``scheduler_kwargs`` / ``bank_partitioning`` pick the baseline,
+    optional ``request_plans`` (core-id string -> credit list) installs
+    per-core Camouflage shapers, and ``alone_ipcs`` provides the
+    slowdown denominators.  ``slip_fraction`` is included when the
+    scheduler exposes one (the FS leak proxy).
+    """
+    from repro.analysis.experiments import (
+        ExperimentDefaults,  # noqa: F401 — via _defaults_from
+        _avg_slowdown,
+        _build_mix,
+    )
+    from repro.core.bins import BinConfiguration
+    from repro.sim.stats import report_digest
+    from repro.sim.system import RequestShapingPlan
+
+    defaults, spec = _defaults_from(payload)
+    request_plans = None
+    if payload.get("request_plans"):
+        request_plans = {
+            int(core): RequestShapingPlan(
+                config=BinConfiguration(tuple(plan["credits"])),
+                spec=spec,
+                generate_fake=bool(plan.get("generate_fake", True)),
+            )
+            for core, plan in payload["request_plans"].items()
+        }
+    system = _build_mix(
+        list(payload["names"]), defaults,
+        request_plans=request_plans,
+        scheduler=payload.get("scheduler", "frfcfs"),
+        scheduler_kwargs=payload.get("scheduler_kwargs") or {},
+        bank_partitioning=bool(payload.get("bank_partitioning", False)),
+    )
+    report = system.run(defaults.cycles, stop_when_done=False)
+    ipcs = [core.ipc for core in report.cores]
+    result: Dict[str, Any] = {
+        "ipcs": ipcs,
+        "slowdown": _avg_slowdown(ipcs, list(payload["alone_ipcs"])),
+        "digest": report_digest(report),
+    }
+    slip = getattr(system.scheduler, "slip_fraction", None)
+    if callable(slip):
+        result["slip_fraction"] = slip()
+    return result
+
+
+def noc_latency_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Single-core mean memory latency at one NoC hop latency."""
+    from repro.sim.stats import report_digest
+    from repro.sim.system import SystemBuilder
+    from repro.workloads.spec import make_trace
+
+    defaults, _spec = _defaults_from(payload)
+    builder = SystemBuilder(seed=defaults.seed)
+    builder.with_noc(latency=int(payload["noc_latency"]))
+    builder.add_core(
+        make_trace(payload["benchmark"], defaults.accesses,
+                   seed=defaults.seed)
+    )
+    report = builder.build().run(defaults.cycles, stop_when_done=False)
+    return {
+        "mean_latency": report.core(0).mean_memory_latency(),
+        "digest": report_digest(report),
+    }
+
+
+# ---------------------------------------------------------------------------
+# mesh-position leakage points
+# ---------------------------------------------------------------------------
+
+
+def mesh_position_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Two-world distinguishability at one mesh position.
+
+    Runs the adversary next to each candidate victim at
+    ``payload["position"]`` and returns the distinguishability of its
+    latency samples between the worlds (one point of
+    :func:`repro.analysis.sweeps.mesh_position_leakage`).
+    """
+    from repro.analysis.experiments import staircase_config
+    from repro.core.bins import BinSpec
+    from repro.security.attacks import corunner_distinguishability
+    from repro.sim.stats import report_digest
+    from repro.sim.system import RequestShapingPlan, SystemBuilder
+    from repro.workloads.spec import make_trace
+
+    defaults, _spec = _defaults_from(payload)
+    spec = BinSpec(replenish_period=512)
+    position = int(payload["position"])
+    num_cores = int(payload["num_cores"])
+    shaped = bool(payload["shaped"])
+
+    def run_world(victim_name: str):
+        builder = SystemBuilder(seed=defaults.seed).with_noc(topology="mesh")
+        for core in range(num_cores):
+            if core == 0:
+                builder.add_core(
+                    make_trace("gcc", defaults.accesses, seed=1)
+                )
+            elif core == position:
+                plan = None
+                if shaped:
+                    plan = RequestShapingPlan(
+                        config=staircase_config(spec, 1 / 16), spec=spec
+                    )
+                builder.add_core(
+                    make_trace(victim_name, defaults.accesses,
+                               seed=2 + core, base_address=core << 33),
+                    request_shaping=plan,
+                )
+            else:
+                builder.add_core(
+                    make_trace("sjeng", defaults.accesses // 4,
+                               seed=50 + core, base_address=core << 33)
+                )
+        report = builder.build().run(defaults.cycles, stop_when_done=False)
+        return report
+
+    world_a = run_world(payload["victims"][0])
+    world_b = run_world(payload["victims"][1])
+    return {
+        "position": position,
+        "distinguishability": corunner_distinguishability(
+            world_a.core(0).memory_latencies,
+            world_b.core(0).memory_latencies,
+        ),
+        "digest_a": report_digest(world_a),
+        "digest_b": report_digest(world_b),
+    }
+
+
+# ---------------------------------------------------------------------------
+# GA population fitness
+# ---------------------------------------------------------------------------
+
+
+def ga_fitness_task(
+    payload: Dict[str, Any], task_seed: Optional[int] = None
+) -> Dict[str, Any]:
+    """Offline fitness of one genome: slowdown plus an MI leak penalty.
+
+    The genome (a credit vector) shapes the benchmark's requests; the
+    cost is ``slowdown + mi_weight * windowed_mi`` — the Figure 2
+    trade-off collapsed to a scalar, which is what the offline GA
+    minimises when searching shaping configurations without a live
+    system.  ``task_seed`` (the executor's per-genome substream seed)
+    seeds the evaluation run when the payload does not pin one, so
+    every genome is scored on a decorrelated, reproducible stream.
+    """
+    from repro.analysis.experiments import ExperimentDefaults, run_alone
+    from repro.core.bins import BinConfiguration, BinSpec
+    from repro.security.mutual_information import windowed_rate_mi
+    from repro.sim.stats import report_digest
+    from repro.sim.system import RequestShapingPlan
+
+    spec = BinSpec(
+        edges=tuple(payload["spec_edges"]),
+        replenish_period=int(payload["spec_period"]),
+    )
+    seed = payload.get("seed")
+    if seed is None:
+        seed = 0 if task_seed is None else task_seed % (1 << 31)
+    defaults = ExperimentDefaults(
+        accesses=int(payload["accesses"]),
+        cycles=int(payload["cycles"]),
+        seed=int(seed),
+        spec=spec,
+    )
+    config = BinConfiguration(tuple(payload["genome"]))
+    report = run_alone(
+        payload["benchmark"], defaults,
+        request_plan=RequestShapingPlan(config=config, spec=spec),
+    )
+    stats = report.core(0)
+    base_ipc = float(payload["base_ipc"])
+    slowdown = base_ipc / stats.ipc if stats.ipc > 0 else 1e6
+    mi = windowed_rate_mi(
+        _event_times(stats.request_intrinsic.gaps),
+        _event_times(stats.request_shaped.gaps),
+        int(payload["window_cycles"]),
+        report.cycles_run,
+        bias_correction=True,
+    )
+    fitness = slowdown + float(payload.get("mi_weight", 1.0)) * mi
+    return {
+        "fitness": fitness,
+        "slowdown": slowdown,
+        "mi": mi,
+        "digest": report_digest(report),
+    }
+
+
+def ga_population_evaluator(executor, payload_base: Dict[str, Any]):
+    """A ``map_evaluate`` for :meth:`GeneticAlgorithm.step`.
+
+    Wraps ``executor`` (a :class:`~repro.parallel.SweepExecutor`) so
+    one generation's fitness runs fan out as :func:`ga_fitness_task`
+    shards — each genome under ``payload_base`` plus its own
+    deterministic ``task_seed`` (the executor's lifetime counter keeps
+    seeds stable across generations and cache states).  Returns
+    fitnesses in population order, which is all the GA's breeding
+    loop needs for bit-identical evolution at any ``jobs`` value.
+    """
+
+    def map_evaluate(genomes) -> List[float]:
+        payloads = []
+        for genome in genomes:
+            payload = dict(payload_base)
+            payload["genome"] = [int(g) for g in genome]
+            payloads.append(payload)
+        rows = executor.map(
+            ga_fitness_task, payloads, kind="ga-fitness",
+            labels=[f"genome{i}" for i in range(len(payloads))],
+        )
+        return [row["fitness"] for row in rows]
+
+    return map_evaluate

@@ -13,10 +13,16 @@ from repro.resilience.faults import (
     QueueSaturation,
     TrafficBurst,
 )
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    run_attempts,
+)
 from repro.resilience.runtime import ResilienceConfig, ResilienceRuntime
 from repro.resilience.scenarios import run_scenario, scenario_names
 from repro.resilience.snapshot import (
     SNAPSHOT_VERSION,
+    atomic_write_bytes,
     load_snapshot,
     read_snapshot_info,
     restore_system,
@@ -31,11 +37,15 @@ __all__ = [
     "LinkStall",
     "QueueSaturation",
     "TrafficBurst",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "run_attempts",
     "ResilienceConfig",
     "ResilienceRuntime",
     "run_scenario",
     "scenario_names",
     "SNAPSHOT_VERSION",
+    "atomic_write_bytes",
     "load_snapshot",
     "read_snapshot_info",
     "restore_system",

@@ -1,0 +1,86 @@
+"""Retry/timeout policy for operations that may fail transiently.
+
+The parallel sweep executor (:mod:`repro.parallel.executor`) delegates
+its worker-failure handling here so the policy is a reusable,
+independently tested resilience primitive rather than scheduling code:
+a bounded number of attempts, an optional per-attempt timeout, and a
+structured :class:`~repro.common.errors.WorkerFailureError` when the
+budget runs out.
+
+Determinism note: retrying a *deterministic* task is safe by
+construction — a repro simulation task is a pure function of its
+payload and seed, so attempt N produces the same result attempt 1
+would have.  The policy therefore never changes results, only whether
+a transient fault (worker killed by the OS, pool torn down) becomes a
+run-ending error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.common.errors import ConfigurationError, WorkerFailureError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try a task, and how long one attempt may take.
+
+    ``max_attempts``
+        Total attempts including the first (1 = no retries).
+    ``timeout_seconds``
+        Per-attempt wall-clock budget, or ``None`` for unbounded.
+        Enforced by the caller's wait primitive (the executor passes it
+        to ``Future.result``); :func:`run_attempts` treats a
+        ``TimeoutError`` like any other attempt failure.
+    """
+
+    max_attempts: int = 2
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be positive")
+
+
+#: The executor default: one retry, no timeout.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def run_attempts(
+    attempt: Callable[[int], T],
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    task_index: int = -1,
+    label: str = "",
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``attempt(attempt_number)`` until it succeeds or the budget ends.
+
+    ``attempt`` receives the 1-based attempt number (so the callee can
+    log or re-derive state); any exception it raises consumes one
+    attempt.  ``on_retry(next_attempt_number, error)`` fires before
+    each re-attempt.  After ``policy.max_attempts`` failures a
+    :class:`WorkerFailureError` carrying the shard identity and the
+    last cause is raised.
+    """
+    last_error: Optional[BaseException] = None
+    for number in range(1, policy.max_attempts + 1):
+        try:
+            return attempt(number)
+        except Exception as exc:  # noqa: BLE001 — the boundary this exists for
+            last_error = exc
+            if number < policy.max_attempts and on_retry is not None:
+                on_retry(number + 1, exc)
+    raise WorkerFailureError(
+        f"task {label or task_index} failed after "
+        f"{policy.max_attempts} attempt(s): {last_error}",
+        task_index=task_index,
+        label=label,
+        attempts=policy.max_attempts,
+        last_error=f"{type(last_error).__name__}: {last_error}",
+    ) from last_error

@@ -55,6 +55,24 @@ KIND_SYSTEM = "system"
 KIND_TUNER = "tuner"
 
 
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via a same-directory temp + rename.
+
+    The REPROSNAP durability primitive, shared by snapshot files and
+    the parallel result cache (:mod:`repro.parallel.cache`): a crash or
+    a concurrent writer mid-write never leaves a truncated file under
+    the final name, because :func:`os.replace` is atomic on POSIX and
+    Windows.  Parent directories are created on demand.
+    """
+    tmp_path = path + ".tmp"
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(tmp_path, "wb") as fh:
+        fh.write(payload)
+    os.replace(tmp_path, path)
+
+
 def dump_snapshot(
     obj: Any,
     kind: str,
@@ -95,14 +113,8 @@ def save_snapshot(
     the final name.
     """
     payload = dump_snapshot(obj, kind, cycle, extra_meta)
-    tmp_path = path + ".tmp"
     try:
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(tmp_path, "wb") as fh:
-            fh.write(payload)
-        os.replace(tmp_path, path)
+        atomic_write_bytes(path, payload)
     except OSError as exc:
         raise SnapshotError(f"cannot write snapshot {path!r}: {exc}") from exc
     return parse_snapshot(payload)[0]

@@ -9,13 +9,12 @@ and row-hit rates.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.util import canonical_json_digest
 from repro.core.distribution import InterArrivalHistogram
 from repro.memctrl.transaction import MemoryTransaction
 
@@ -146,6 +145,9 @@ def report_digest(report: SystemReport) -> str:
     sample and response timestamp matches — ``repro run`` prints it and
     ``repro resume`` prints it again so the bit-identical-resume
     guarantee (docs/resilience.md) is checkable from the command line.
+    The same canonical-JSON fingerprinting, applied to run *inputs*
+    instead of outputs, keys the parallel result cache
+    (:func:`repro.parallel.cache.config_digest`).
     """
     doc = {
         "cycles_run": report.cycles_run,
@@ -179,5 +181,4 @@ def report_digest(report: SystemReport) -> str:
             for c in report.cores
         ],
     }
-    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    return canonical_json_digest(doc)

@@ -59,6 +59,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "camouflage" in out
 
+    def test_sweep_json_is_jobs_invariant(self, capsys, tmp_path):
+        assert main(["--scale", "0.1", "sweep", "noc-latency",
+                     "--benchmark", "gcc", "--jobs", "1"]) == 0
+        out_1 = capsys.readouterr().out
+        assert main(["--scale", "0.1", "sweep", "noc-latency",
+                     "--benchmark", "gcc", "--jobs", "2"]) == 0
+        out_2 = capsys.readouterr().out
+        assert out_1 == out_2
+        assert "mean_latency" not in out_1  # flat {latency: value} map
+
+    def test_cache_verbs_round_trip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["--scale", "0.1", "sweep", "noc-latency",
+                     "--benchmark", "gcc", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "noc-latency" in out
+        assert main(["cache", "prune", "--cache-dir", cache_dir,
+                     "--keep", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+
+    def test_tradeoff_prints_digests(self, capsys, tmp_path):
+        assert main(["--scale", "0.1", "tradeoff", "--benchmark", "gcc",
+                     "--jobs", "2",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out and "no-shaping" in out
+
 
 class TestCalibrate:
     def test_single_benchmark(self, capsys):

@@ -7,6 +7,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.util import (
+    canonical_doc,
+    canonical_json_digest,
     ceil_div,
     clamp,
     cumulative_sum,
@@ -144,3 +146,55 @@ class TestCumulativeSum:
 
     def test_length_preserved(self):
         assert len(cumulative_sum([5] * 7)) == 7
+
+
+class TestCanonicalDoc:
+    def test_collapses_containers_and_numpy(self):
+        import dataclasses
+
+        import numpy as np
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            label: str
+
+        doc = canonical_doc({
+            "tuple": (1, 2),
+            "set": {3},
+            "np_scalar": np.int64(4),
+            "np_array": np.array([5, 6]),
+            "nested": Point(7, "p"),
+            8: "int-key",
+        })
+        assert doc == {
+            "tuple": [1, 2],
+            "set": [3],
+            "np_scalar": 4,
+            "np_array": [5, 6],
+            "nested": {"x": 7, "label": "p"},
+            "8": "int-key",
+        }
+
+    def test_rejects_non_finite_floats(self):
+        with pytest.raises(ValueError):
+            canonical_doc({"bad": float("nan")})
+        with pytest.raises(ValueError):
+            canonical_doc(float("inf"))
+
+    def test_rejects_unserialisable_objects(self):
+        with pytest.raises(TypeError):
+            canonical_doc(object())
+
+
+class TestCanonicalJsonDigest:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json_digest({"a": 1, "b": 2}) == \
+            canonical_json_digest({"b": 2, "a": 1})
+
+    def test_value_changes_do(self):
+        assert canonical_json_digest({"a": 1}) != \
+            canonical_json_digest({"a": 2})
+
+    def test_length_parameter(self):
+        assert len(canonical_json_digest({"a": 1}, length=40)) == 40

@@ -75,5 +75,5 @@ class TestReadme:
         for name in ("architecture.md", "security.md",
                      "experiments-howto.md", "api.md",
                      "static-analysis.md", "observability.md",
-                     "resilience.md"):
+                     "resilience.md", "parallel.md"):
             assert (ROOT / "docs" / name).exists()
