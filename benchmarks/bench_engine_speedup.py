@@ -1,16 +1,19 @@
-"""Next-event engine speedup on low-intensity runs (BENCH_engine.json).
+"""Fast-engine speedups on low-intensity runs (BENCH_engine.json).
 
-The cycle-skipping engine pays off exactly where the per-cycle loop
+The cycle-skipping engines pay off exactly where the per-cycle loop
 wastes the most work: single-program, low-intensity configurations of
 the Figure 11/12 kind, where long compute gaps and sparse shaped
 traffic leave most cycles with nothing to do.  This benchmark times
-``System.run`` under both engines on those shapes, checks the reports
-stay bit-identical, and archives the measurements as
-``BENCH_engine.json`` at the repository root (plus the usual text
-record under ``benchmarks/results``).
+``System.run`` under all three engines — ``cycle`` (the reference),
+``next_event``, and the columnar engine
+(:mod:`repro.sim.columnar`, which keeps every station's horizon in
+one numpy ledger and only runs stations that are due or fed) — checks
+the reports stay bit-identical across all of them, and archives the
+measurements as ``BENCH_engine.json`` at the repository root (plus
+the usual text record under ``benchmarks/results``).
 
-Acceptance target: >= 3x wall-clock speedup on the headline
-low-intensity single-program run.
+Acceptance targets, both on the headline low-intensity single-program
+run: >= 3x for ``next_event``, >= 10x for ``columnar``.
 """
 
 import json
@@ -31,6 +34,7 @@ from conftest import BENCH_DEFAULTS
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 SPEC = BinSpec()
 SPEEDUP_TARGET = 3.0
+COLUMNAR_SPEEDUP_TARGET = 10.0
 
 _SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 ACCESSES = int(400 * _SCALE) or 1
@@ -90,23 +94,29 @@ def test_engine_speedup(record_result):
     for name, builder in CONFIGS:
         base_seconds, base_report = _best_of(builder, "cycle")
         fast_seconds, fast_report = _best_of(builder, "next_event")
+        col_seconds, col_report = _best_of(builder, "columnar")
         assert base_report == fast_report, f"{name}: reports diverge"
+        assert base_report == col_report, f"{name}: columnar diverges"
         rows.append({
             "config": name,
             "cycles_run": base_report.cycles_run,
             "cycle_engine_seconds": round(base_seconds, 4),
             "next_event_seconds": round(fast_seconds, 4),
+            "columnar_seconds": round(col_seconds, 4),
             "speedup": round(base_seconds / fast_seconds, 2),
+            "columnar_speedup": round(base_seconds / col_seconds, 2),
             "identical_report": True,
         })
 
     headline = rows[0]
     payload = {
-        "benchmark": "next-event engine wall-clock speedup",
+        "benchmark": "fast-engine wall-clock speedup over cycle engine",
         "simulated_cycles": CYCLES,
         "speedup_target": SPEEDUP_TARGET,
+        "columnar_speedup_target": COLUMNAR_SPEEDUP_TARGET,
         "headline_config": headline["config"],
         "headline_speedup": headline["speedup"],
+        "headline_columnar_speedup": headline["columnar_speedup"],
         "configs": rows,
     }
     (REPO_ROOT / "BENCH_engine.json").write_text(
@@ -114,9 +124,11 @@ def test_engine_speedup(record_result):
     )
 
     lines = [
-        f"{r['config']:24s} speedup {r['speedup']:6.2f}x  "
+        f"{r['config']:24s} next_event {r['speedup']:6.2f}x  "
+        f"columnar {r['columnar_speedup']:6.2f}x  "
         f"({r['cycle_engine_seconds']:.3f}s -> "
-        f"{r['next_event_seconds']:.3f}s, "
+        f"{r['next_event_seconds']:.3f}s -> "
+        f"{r['columnar_seconds']:.3f}s, "
         f"{r['cycles_run']} cycles, bit-identical)"
         for r in rows
     ]
@@ -126,4 +138,8 @@ def test_engine_speedup(record_result):
         assert headline["speedup"] >= SPEEDUP_TARGET, (
             f"headline speedup {headline['speedup']}x below the "
             f"{SPEEDUP_TARGET}x target"
+        )
+        assert headline["columnar_speedup"] >= COLUMNAR_SPEEDUP_TARGET, (
+            f"headline columnar speedup {headline['columnar_speedup']}x "
+            f"below the {COLUMNAR_SPEEDUP_TARGET}x target"
         )

@@ -561,7 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
     p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
     p.add_argument("--engine", default="cycle",
-                   choices=("cycle", "next_event"))
+                   choices=("cycle", "next_event", "columnar"))
     p.add_argument("--out", default="trace.json",
                    help="Chrome trace-event JSON output path")
     p.add_argument("--jsonl", default=None, metavar="PATH",
@@ -576,7 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
     p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
     p.add_argument("--engine", default="cycle",
-                   choices=("cycle", "next_event"))
+                   choices=("cycle", "next_event", "columnar"))
     p.add_argument("--interval", type=int, default=1024,
                    help="cycles between metric samples")
     p.add_argument("--rows", type=int, default=8,
@@ -586,7 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
     p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
     p.add_argument("--engine", default="cycle",
-                   choices=("cycle", "next_event"))
+                   choices=("cycle", "next_event", "columnar"))
     p.add_argument("--cycles", type=int, default=0,
                    help="run length (default: the experiment default)")
     p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
@@ -607,7 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("resume", help=_EXPERIMENTS["resume"])
     p.add_argument("snapshot", help="snapshot file written by 'repro run'")
     p.add_argument("--engine", default="cycle",
-                   choices=("cycle", "next_event"))
+                   choices=("cycle", "next_event", "columnar"))
     p.add_argument("--cycles", type=int, default=0,
                    help="additional cycles to run")
     p.add_argument("--until", type=int, default=0, metavar="CYCLE",
@@ -619,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one of: livelock, flood, saturate, degrade, "
                         "epoch-stress, malformed-trace")
     p.add_argument("--engine", default="cycle",
-                   choices=("cycle", "next_event"))
+                   choices=("cycle", "next_event", "columnar"))
     p.add_argument("--cycles", type=int, default=0,
                    help="override the scenario's default run length")
     p.add_argument("--dump", default=None, metavar="PATH",

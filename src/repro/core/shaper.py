@@ -115,6 +115,16 @@ class BinShaper:
         self._last_release = start_cycle
         self._next_replenish = start_cycle + spec.replenish_period
         self._pending_config: Optional[BinConfiguration] = None
+        # Derived aggregates over the credit registers, kept in sync by
+        # the three mutation sites (replenish, release_real,
+        # release_fake).  They make the non-strict next-event bounds
+        # O(1) per poll — the engines poll every stepped cycle, while
+        # releases are comparatively rare.
+        self._credits_total = 0
+        self._unused_total = 0
+        self._credits_smallest_edge: Optional[int] = None
+        self._unused_smallest_edge: Optional[int] = None
+        self._recache_aggregates()
 
         # Telemetry.
         self.real_releases = 0
@@ -200,7 +210,25 @@ class BinShaper:
             self._next_replenish += self.spec.replenish_period
             self.replenishments += 1
             boundaries += 1
+        if boundaries:
+            self._recache_aggregates()
         return boundaries
+
+    def _recache_aggregates(self) -> None:
+        """Refresh the derived totals / smallest-credited-edge caches."""
+        edges = self.spec.edges
+        self._credits_total = sum(self._credits)
+        self._unused_total = sum(self._unused)
+        self._credits_smallest_edge = None
+        for edge, count in zip(edges, self._credits):
+            if count > 0:
+                self._credits_smallest_edge = edge
+                break
+        self._unused_smallest_edge = None
+        for edge, count in zip(edges, self._unused):
+            if count > 0:
+                self._unused_smallest_edge = edge
+                break
 
     # -- release eligibility ---------------------------------------------------------
 
@@ -367,6 +395,15 @@ class BinShaper:
         the next replenishment (:attr:`next_replenish_cycle`).
         """
         floor = self._jitter_hold_until if self._jitter_rng is not None else None
+        if not self._strict:
+            # O(1) via the cached aggregates: with the default rule the
+            # bound is reached exactly when delta hits the smallest
+            # credited edge (same formula as the general path below).
+            self._delta(cycle)
+            if self._credits_total == 0:
+                return None
+            lo = cycle if floor is None else max(cycle, floor)
+            return max(lo, self._last_release + self._credits_smallest_edge)
         return self._earliest_eligible(self._credits, cycle, floor=floor)
 
     def earliest_fake_release(self, cycle: int) -> Optional[int]:
@@ -376,6 +413,11 @@ class BinShaper:
         (fake releases never jitter); ``None`` when no unused credits
         remain from the previous period.
         """
+        if not self._strict:
+            self._delta(cycle)
+            if self._unused_total == 0:
+                return None
+            return max(cycle, self._last_release + self._unused_smallest_edge)
         return self._earliest_eligible(self._unused, cycle)
 
     @property
@@ -402,6 +444,7 @@ class BinShaper:
         self._last_release = cycle
         self._jitter_hold_until = None
         self.real_releases += 1
+        self._recache_aggregates()
         return bin_index
 
     def release_fake(self, cycle: int) -> int:
@@ -416,6 +459,7 @@ class BinShaper:
         self._unused[bin_index] -= 1
         self._last_release = cycle
         self.fake_releases += 1
+        self._recache_aggregates()
         return bin_index
 
     # -- telemetry -----------------------------------------------------------------

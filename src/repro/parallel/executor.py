@@ -28,15 +28,47 @@ The ``spawn`` start method is deliberate: it is the only start method
 available everywhere, and it guarantees workers build their state from
 the pickled payload alone — a forked copy of a warm parent could
 smuggle in mutated globals and break the jobs-invariance contract.
+
+Pool reuse and chunking
+-----------------------
+``spawn`` pays a real price: each worker is a fresh interpreter that
+re-imports the simulator stack before it can run its first task.  The
+original executor built a brand-new pool per :meth:`SweepExecutor.map`
+call and shipped one future per task, so short sweeps spent more time
+spawning and pickling than simulating (BENCH_parallel.json recorded a
+0.75x *slowdown* at ``jobs=4``).  Two fixes, neither observable in the
+merged output:
+
+* **a warm persistent pool** — one module-level ``spawn`` pool is kept
+  alive across ``map`` calls (rebuilt only when more workers are
+  needed or the pool broke), with an ``initializer`` that pre-imports
+  the simulator stack so the first real task in each worker does not
+  pay the import latency.  Worker reuse is safe for the same reason
+  parallelism is: tasks are pure functions of their payloads and may
+  not mutate module state they expect to see again.
+* **task chunking** — tasks are grouped into contiguous chunks (one
+  future per chunk, ``fn`` pickled once per chunk) and key/value pairs
+  shared by every payload in a chunk are factored out and shipped
+  once, instead of re-serializing the full sweep spec per point.
+  Workers rebuild each payload as ``{**shared, **delta}``; dict
+  equality is order-insensitive and tasks are functions of payload
+  *values*, so results are unchanged.  Cache digests are computed
+  parent-side from the original payloads and never see the split.
+
+Failure handling keeps per-task granularity: a chunk worker catches
+each task's exception and returns it in-band, so retries and
+:class:`~repro.common.errors.WorkerFailureError` still name the exact
+shard that failed, and a retry re-runs only that shard.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import inspect
 import multiprocessing
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRng
@@ -46,10 +78,10 @@ from repro.obs.tracer import NULL_TRACER
 from repro.parallel.cache import ResultCache, cache_key, config_digest
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, run_attempts
 
-try:  # py3.9 compatibility: the exception moved modules over time
-    from concurrent.futures.process import BrokenProcessPool
-except ImportError:  # pragma: no cover - ancient stdlib layout
-    BrokenProcessPool = RuntimeError  # type: ignore[misc,assignment]
+#: Chunks per worker in one ``map`` call.  Two rounds per worker keeps
+#: the amortization (``fn`` + the factored-out shared spec pickle once
+#: per chunk) while leaving slack for uneven task costs.
+_CHUNK_ROUNDS = 2
 
 
 def _call_task(fn: Callable[..., Any], payload: Any,
@@ -58,6 +90,124 @@ def _call_task(fn: Callable[..., Any], payload: Any,
     if task_seed is None:
         return fn(payload)
     return fn(payload, task_seed=task_seed)
+
+
+def _call_task_chunk(
+    fn: Callable[..., Any],
+    shared: Optional[Dict[str, Any]],
+    items: Sequence[Tuple[Any, Optional[int]]],
+) -> List[Tuple[bool, Any]]:
+    """Run a chunk of tasks in one worker round-trip.
+
+    ``items`` holds ``(delta, task_seed)`` pairs; when ``shared`` is
+    not None each payload is rebuilt as ``{**shared, **delta}`` (the
+    chunk-common keys were factored out parent-side so they pickle
+    once per chunk, not once per task).  Per-task exceptions are
+    returned in-band as ``(False, exception)`` so the parent can retry
+    and report the exact shard that failed instead of losing the whole
+    chunk.
+    """
+    out: List[Tuple[bool, Any]] = []
+    for delta, task_seed in items:
+        if shared is None:
+            payload = delta
+        else:
+            payload = dict(shared)
+            payload.update(delta)
+        try:
+            out.append((True, _call_task(fn, payload, task_seed)))
+        except BaseException as exc:  # returned, not raised: in-band
+            out.append((False, exc))
+    return out
+
+
+def _split_common(
+    payloads: Sequence[Any],
+) -> Tuple[Optional[Dict[str, Any]], List[Any]]:
+    """Factor the key/value pairs shared by every payload in a chunk.
+
+    Returns ``(shared, deltas)`` where each original payload equals
+    ``{**shared, **delta}``.  Only dict payloads participate; the
+    identical-type guard keeps ``1``/``True``-style coercions from
+    swapping a value's type during reconstruction.
+    """
+    if len(payloads) < 2 or not all(isinstance(p, dict) for p in payloads):
+        return None, list(payloads)
+    first = payloads[0]
+    shared = {
+        key: value
+        for key, value in first.items()
+        if all(
+            key in p and type(p[key]) is type(value) and p[key] == value
+            for p in payloads[1:]
+        )
+    }
+    if not shared:
+        return None, list(payloads)
+    deltas = [
+        {k: v for k, v in p.items() if k not in shared} for p in payloads
+    ]
+    return shared, deltas
+
+
+def _warm_worker() -> None:  # pragma: no cover - runs in spawned workers
+    """Pool initializer: pre-import the simulator stack.
+
+    A ``spawn`` worker starts as a bare interpreter; importing the
+    analysis/simulation modules here means the first real task pays
+    only simulation time, not import time.  Best-effort: a failed
+    import just leaves the lazy imports inside the tasks to do it.
+    """
+    try:
+        import repro.analysis.experiments  # noqa: F401
+        import repro.sim.system  # noqa: F401
+    # An exception escaping a pool initializer breaks the entire pool
+    # (every future fails), while a missed pre-import only costs time:
+    # swallowing anything here is strictly safer than surfacing it.
+    # repro-lint: disable-next-line=RL006
+    except Exception:
+        pass
+
+
+# The warm pool is deliberately module-global mutable state: the whole
+# point is reuse across SweepExecutor instances.  It never influences
+# results (workers are stateless between pure tasks), only latency.
+_POOL: Optional[concurrent.futures.ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _warm_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    """The shared spawn pool, rebuilt only when too small or broken."""
+    global _POOL, _POOL_WORKERS
+    pool = _POOL
+    if (
+        pool is not None
+        and not getattr(pool, "_broken", False)
+        and _POOL_WORKERS >= workers
+    ):
+        return pool
+    if pool is not None:
+        pool.shutdown(wait=False)
+    pool = concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context("spawn"),
+        initializer=_warm_worker,
+    )
+    _POOL = pool
+    _POOL_WORKERS = workers
+    return pool
+
+
+def _discard_pool() -> None:
+    """Drop the warm pool (after breakage, or at interpreter exit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False)
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+atexit.register(_discard_pool)
 
 
 def _wants_task_seed(fn: Callable[..., Any]) -> bool:
@@ -237,47 +387,83 @@ class SweepExecutor:
         self, fn: Callable[..., Any], to_run: List[_Shard],
         results: Dict[int, Any],
     ) -> None:
-        context = multiprocessing.get_context("spawn")
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(to_run)), mp_context=context
-        )
-        futures: Dict[int, concurrent.futures.Future] = {}
+        """Chunked execution on the warm persistent pool.
 
-        def submit(shard: _Shard) -> None:
-            futures[shard.index] = pool.submit(
-                _call_task, fn, shard.payload, shard.task_seed
+        Tasks are split into contiguous chunks — :data:`_CHUNK_ROUNDS`
+        per worker, so each worker sees a couple of large futures
+        instead of one tiny future per task — and every chunk's
+        payloads have their common keys factored out parent-side
+        (:func:`_split_common`).  Chunks are collected in submission
+        order; within a chunk, per-task outcomes come back in-band, so
+        a failure retries only its own shard (resubmitted singly, into
+        a rebuilt pool if the old one broke).  The per-attempt timeout
+        applies to the single-shard retries; the first attempt's chunk
+        future gets it scaled by the chunk length.
+        """
+        workers = min(self.jobs, len(to_run))
+        n_chunks = min(len(to_run), workers * _CHUNK_ROUNDS)
+        base, extra = divmod(len(to_run), n_chunks)
+        chunks: List[List[_Shard]] = []
+        start = 0
+        for i in range(n_chunks):
+            size = base + (1 if i < extra else 0)
+            chunks.append(to_run[start:start + size])
+            start += size
+
+        pool = _warm_pool(workers)
+        pending: List[
+            Tuple[List[_Shard], concurrent.futures.Future]
+        ] = []
+        for chunk in chunks:
+            shared, deltas = _split_common([s.payload for s in chunk])
+            items = [
+                (delta, shard.task_seed)
+                for delta, shard in zip(deltas, chunk)
+            ]
+            pending.append(
+                (chunk, pool.submit(_call_task_chunk, fn, shared, items))
             )
 
-        try:
-            for shard in to_run:
-                submit(shard)
-            # Collect in submission order; retries resubmit into the
-            # (possibly rebuilt) pool.  Order of *collection* cannot
-            # influence results — tasks are independent — it only
-            # defines the deterministic merge.
-            for shard in to_run:
+        # First-attempt outcomes, (ok, value-or-exception) per shard.
+        # A chunk-level failure (timeout, dead pool) charges every
+        # shard in the chunk one attempt, matching the old per-future
+        # accounting.
+        outcomes: Dict[int, Tuple[bool, Any]] = {}
+        for chunk, future in pending:
+            timeout = self.retry.timeout_seconds
+            if timeout is not None:
+                timeout *= len(chunk)
+            try:
+                for shard, outcome in zip(chunk, future.result(timeout)):
+                    outcomes[shard.index] = outcome
+            except concurrent.futures.TimeoutError as exc:
+                future.cancel()
+                for shard in chunk:
+                    outcomes[shard.index] = (False, exc)
+            except Exception as exc:  # BrokenProcessPool and kin
+                for shard in chunk:
+                    outcomes[shard.index] = (False, exc)
+
+            for shard in chunk:
                 def attempt(number: int, shard: _Shard = shard) -> Any:
                     nonlocal pool
-                    if number > 1 or shard.index not in futures:
-                        if getattr(pool, "_broken", False):
-                            pool.shutdown(wait=False)
-                            pool = concurrent.futures.ProcessPoolExecutor(
-                                max_workers=min(self.jobs, len(to_run)),
-                                mp_context=context,
-                            )
-                        submit(shard)
-                    future = futures.pop(shard.index)
+                    if number == 1:
+                        ok, value = outcomes[shard.index]
+                        if ok:
+                            return value
+                        raise value
+                    if getattr(pool, "_broken", False):
+                        _discard_pool()
+                        pool = _warm_pool(workers)
+                    retry_future = pool.submit(
+                        _call_task, fn, shard.payload, shard.task_seed
+                    )
                     try:
-                        return future.result(
+                        return retry_future.result(
                             timeout=self.retry.timeout_seconds
                         )
                     except concurrent.futures.TimeoutError:
-                        future.cancel()
-                        raise
-                    except BrokenProcessPool:
-                        # Every in-flight future died with the pool;
-                        # forget them so retries resubmit cleanly.
-                        futures.clear()
+                        retry_future.cancel()
                         raise
 
                 results[shard.index] = run_attempts(
@@ -288,8 +474,6 @@ class SweepExecutor:
                 self.tasks_run += 1
                 self._emit("parallel.task_done", shard.index,
                            label=shard.label)
-        finally:
-            pool.shutdown(wait=False)
 
     def _on_retry(self, shard: _Shard, number: int,
                   error: BaseException) -> None:

@@ -19,6 +19,7 @@ from repro.sim.bandwidth import (
     per_core_bandwidth,
     utilization,
 )
+from repro.sim.columnar import ColumnarEngine
 from repro.sim.stats import CoreStats, SystemReport
 from repro.sim.system import (
     EpochShapingPlan,
@@ -29,6 +30,7 @@ from repro.sim.system import (
 )
 
 __all__ = [
+    "ColumnarEngine",
     "CoreStats",
     "EpochShapingPlan",
     "bandwidth_series",

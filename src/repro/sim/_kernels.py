@@ -1,0 +1,124 @@
+"""Compiled inner-loop kernels for the columnar engine (optional numba).
+
+The columnar engine (:mod:`repro.sim.columnar`) keeps every station's
+next-event horizon in one numpy column and needs two reductions per
+stepped cycle: the minimum horizon (the next cycle anything in the
+system can change) and the count of stations runnable at the current
+cycle.  Both are expressed here as standalone array kernels so they
+can be swapped between a numpy implementation (always available) and a
+``numba.njit``-compiled loop.
+
+Feature flag
+------------
+Set ``REPRO_NUMBA=1`` in the environment to request the compiled
+kernels.  When numba is not installed the request **degrades
+gracefully** to the numpy implementations — no error, no warning spam,
+just :data:`Kernels.jit_active` staying ``False`` (the columnar smoke
+test asserts this exact behaviour).  Both implementations are pure
+integer reductions with a single exact result, so engine output is
+bit-identical either way.
+
+All horizons are integer cycle counts (``int64``); ``NO_EVENT`` is the
+``int64`` sentinel for "this station has no pending event".  No float
+ever touches a cycle value — the integer-cycle contract (RL002) holds
+at this API boundary and inside the kernels.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+import numpy as np
+
+#: Sentinel horizon for a station with no pending event (int64 max, so
+#: it never wins a min-reduction against a real cycle number).
+NO_EVENT = int(np.iinfo(np.int64).max)
+
+ENV_FLAG = "REPRO_NUMBA"
+
+
+def _min_horizon_numpy(horizons: np.ndarray) -> int:
+    """Minimum horizon over the station column (exact, integer)."""
+    return int(horizons.min())
+
+
+def _runnable_count_numpy(horizons: np.ndarray, cycle: int) -> int:
+    """How many stations could act at ``cycle`` (horizon <= cycle)."""
+    return int(np.count_nonzero(horizons <= cycle))
+
+
+def _min_horizon_loop(horizons):  # pragma: no cover - compiled body
+    m = horizons[0]
+    for i in range(1, horizons.shape[0]):
+        v = horizons[i]
+        if v < m:
+            m = v
+    return m
+
+
+def _runnable_count_loop(horizons, cycle):  # pragma: no cover - compiled body
+    count = 0
+    for i in range(horizons.shape[0]):
+        if horizons[i] <= cycle:
+            count += 1
+    return count
+
+
+def jit_requested(env: Optional[dict] = None) -> bool:
+    """Is the compiled-kernel feature flag set?"""
+    source = os.environ if env is None else env
+    return source.get(ENV_FLAG, "") not in ("", "0")
+
+
+class Kernels:
+    """Resolved kernel set: numpy by default, numba when flagged + present.
+
+    Attributes
+    ----------
+    min_horizon:
+        ``(horizons: int64[:]) -> int`` — minimum over the column.
+    runnable_count:
+        ``(horizons: int64[:], cycle: int) -> int`` — stations with
+        ``horizon <= cycle``.
+    jit_requested / jit_active:
+        The flag as asked for vs. what actually resolved.  They differ
+        exactly when numba is absent (graceful degradation).
+    """
+
+    def __init__(self, use_jit: Optional[bool] = None) -> None:
+        self.jit_requested = (
+            jit_requested() if use_jit is None else bool(use_jit)
+        )
+        self.jit_active = False
+        self.min_horizon: Callable[[np.ndarray], int] = _min_horizon_numpy
+        self.runnable_count: Callable[[np.ndarray, int], int] = (
+            _runnable_count_numpy
+        )
+        if not self.jit_requested:
+            return
+        try:
+            from numba import njit
+        except ImportError:
+            # Graceful degradation: the flag is a request, not a
+            # requirement.  The numpy kernels give identical results.
+            return
+        self.min_horizon = njit(cache=True)(_min_horizon_loop)
+        self.runnable_count = njit(cache=True)(_runnable_count_loop)
+        self.jit_active = True
+
+
+_DEFAULT: Optional[Kernels] = None
+
+
+def get_kernels() -> Kernels:
+    """The process-wide kernel set (resolved once per flag value).
+
+    Re-resolves when the environment flag changes, so tests can flip
+    ``REPRO_NUMBA`` via monkeypatch without reloading the module.
+    """
+    global _DEFAULT
+    wanted = jit_requested()
+    if _DEFAULT is None or _DEFAULT.jit_requested != wanted:
+        _DEFAULT = Kernels(use_jit=wanted)
+    return _DEFAULT

@@ -1,0 +1,420 @@
+"""Columnar next-event engine: batched horizon ledger, selective ticks.
+
+``System.run(engine="next_event")`` (PR 1) skips idle *spans* but still
+advances events one Python object at a time inside each stepped cycle:
+every component is ticked and every ``next_event_cycle`` re-polled,
+even for stations that provably cannot act.  This module rebuilds that
+hot path around **columnar state**: one numpy structured array — the
+*horizon ledger* — holds every station's next-event horizon, dirty
+flag, kind and owning core, so the per-step scheduling decisions
+(the min-reduction that picks the next stepped cycle, the runnable
+set) operate on whole columns instead of a Python object walk.
+
+Selected via ``System.run(engine="columnar")``.
+
+Station model
+-------------
+Every pipeline stage of :meth:`System.tick` is a *station* with a row
+in the ledger::
+
+    row      station              kind
+    -------  -------------------  ------------
+    0..n-1   cores                KIND_CORE
+    n..2n-1  request paths        KIND_REQ_PATH
+    2n       request link         KIND_REQ_LINK
+    2n+1     memory controller    KIND_CONTROLLER
+    2n+2..   response paths       KIND_RESP_PATH
+    3n+2     response link        KIND_RESP_LINK
+    3n+3     fault injector       KIND_INJECTOR   (only when wired)
+
+Each stepped cycle runs a station iff its cached horizon is due
+(``horizon <= cycle``) **or** an upstream station fed it this cycle
+(a core that ran feeds its request path; any request path feeds the
+request link; fresh enqueues feed the controller; egress pops feed a
+response path; any response path feeds the response link).  A station
+that runs — or receives input — is marked *dirty* and only dirty rows
+have ``next_event_cycle`` re-polled after the tick; clean horizons
+stay cached.  This is the fix for the ``min()``-over-stations scan:
+the per-cycle cost is proportional to the number of stations that
+actually changed, not the station count.
+
+Bit-identity
+------------
+The engine is bit-identical to ``engine="next_event"`` (and therefore
+to ``engine="cycle"``) by construction:
+
+* The stepped-cycle sequence is identical: the skip decision uses the
+  same per-station ``next_event_cycle`` contracts, the same
+  cross-station couplings (staged requests the controller can take,
+  egress responses a path can buffer) and the same watchdog /
+  checkpoint caps as :meth:`System._next_event_target`.
+* Within a stepped cycle, stations run in exactly the
+  :meth:`System.tick` order; a *skipped* station's tick would have
+  been a pure no-op (its horizon is in the future and nothing fed it),
+  except for per-cycle bookkeeping — cores and request paths replay
+  that via their ``skip_idle(cycle, cycle + 1)`` contracts, exactly as
+  :meth:`System._skip_idle_span` does across longer spans.
+* Any cycle on which the fault injector may act falls back to the full
+  :meth:`System.tick` (and marks every station dirty), so fault
+  scenarios execute the injection order unchanged.
+
+The min-reduction over the horizon column goes through
+:mod:`repro.sim._kernels`: numpy by default, a ``numba.njit`` loop
+when ``REPRO_NUMBA=1`` and numba is installed (graceful numpy fallback
+when it is not).  For small systems without a jit the engine uses a
+plain Python ``min`` over its scalar mirror of the column — numpy's
+per-call overhead beats its throughput below a few dozen rows — which
+is exact-integer either way, so engine output does not depend on the
+reduction path.
+
+Scheduler contract note: skipping the controller on event-free cycles
+assumes ``Scheduler.tick`` is pure bookkeeping that tolerates not
+being called on cycles where no transaction can advance; every shipped
+scheduler's ``tick`` is a no-op hook.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.obs.tracer import NULL_TRACER
+from repro.resilience.watchdog import Watchdog
+from repro.sim._kernels import NO_EVENT, get_kernels
+
+KIND_CORE = 0
+KIND_REQ_PATH = 1
+KIND_REQ_LINK = 2
+KIND_CONTROLLER = 3
+KIND_RESP_PATH = 4
+KIND_RESP_LINK = 5
+KIND_INJECTOR = 6
+
+#: One ledger row per station.  ``horizon`` is the cached
+#: ``next_event_cycle`` (``NO_EVENT`` for "none"); ``dirty`` marks rows
+#: whose horizon must be re-polled; ``kind``/``core`` describe the
+#: station for diagnostics and batched per-kind selections.
+STATION_DTYPE = np.dtype(
+    [
+        ("horizon", np.int64),
+        ("dirty", np.bool_),
+        ("kind", np.uint8),
+        ("core", np.int16),
+    ]
+)
+
+# Below this station count a Python ``min`` over the scalar mirror is
+# faster than a numpy reduction (per-call overhead dominates); the
+# compiled kernel wins at any size.
+_VECTOR_MIN_CUTOFF = 32
+
+
+class ColumnarEngine:
+    """One ``run()`` window of a :class:`~repro.sim.system.System`.
+
+    Built fresh per ``System.run(engine="columnar")`` call (systems can
+    be reconfigured between windows, e.g. by the GA), holds no state
+    the System's own snapshot/resume path needs — checkpoints pickle
+    the System exactly as under the other engines.
+    """
+
+    def __init__(self, system) -> None:
+        self.system = system
+        n = len(system.cores)
+        self._n = n
+        self._req0 = n
+        self._reqlink = 2 * n
+        self._ctrl = 2 * n + 1
+        self._resp0 = 2 * n + 2
+        self._resplink = 3 * n + 2
+        stations: List = list(system.cores)
+        stations.extend(system.request_paths)
+        stations.append(system.request_link)
+        stations.append(system.controller)
+        stations.extend(system.response_paths)
+        stations.append(system.response_link)
+        self._inj: Optional[int] = None
+        if system._fault_hooks:
+            stations.append(system.resilience.injector)
+            self._inj = len(stations) - 1
+        self._stations = stations
+        size = len(stations)
+        self._size = size
+
+        ledger = np.zeros(size, dtype=STATION_DTYPE)
+        kinds = (
+            [KIND_CORE] * n
+            + [KIND_REQ_PATH] * n
+            + [KIND_REQ_LINK, KIND_CONTROLLER]
+            + [KIND_RESP_PATH] * n
+            + [KIND_RESP_LINK]
+        )
+        cores_col = (
+            list(range(n)) + list(range(n)) + [-1, -1] + list(range(n)) + [-1]
+        )
+        if self._inj is not None:
+            kinds.append(KIND_INJECTOR)
+            cores_col.append(-1)
+        ledger["kind"] = kinds
+        ledger["core"] = cores_col
+        ledger["horizon"] = NO_EVENT
+        ledger["dirty"] = True
+        self.ledger = ledger
+        self._col = ledger["horizon"]
+
+        # Scalar mirrors of the ledger columns.  The numpy rows stay
+        # authoritative for the batched reductions; the mirrors keep
+        # the per-station scalar reads in the inner loop at list-index
+        # cost instead of numpy-scalar boxing cost.
+        self._h: List[int] = [NO_EVENT] * size
+        self._dirty: List[bool] = [True] * size
+        self._next_event = [s.next_event_cycle for s in stations]
+        self._core_tick = [c.tick for c in system.cores]
+        self._core_skip = [c.skip_idle for c in system.cores]
+        self._path_tick = [p.tick for p in system.request_paths]
+        self._path_skip = [
+            getattr(p, "skip_idle", None) for p in system.request_paths
+        ]
+        self._resp_tick = [p.tick for p in system.response_paths]
+        # Request-path buffer occupancy before the cores run, compared
+        # after: a change means the core fed the path this cycle.
+        self._path_occ = [0] * n
+        self._done = [c.done for c in system.cores]
+        self._undone = sum(1 for d in self._done if not d)
+
+        self._kernels = get_kernels()
+        self._vector_min = (
+            self._kernels.jit_active or size >= _VECTOR_MIN_CUTOFF
+        )
+
+    # -- ledger maintenance ---------------------------------------------
+
+    def _refresh_horizons(self, cycle: int) -> None:
+        """Re-poll ``next_event_cycle`` for dirty rows only."""
+        h = self._h
+        col = self._col
+        dirty = self._dirty
+        poll = self._next_event
+        for i in range(self._size):
+            if dirty[i]:
+                event = poll[i](cycle)
+                value = NO_EVENT if event is None else event
+                h[i] = value
+                col[i] = value
+                dirty[i] = False
+
+    def _mark_all_dirty(self) -> None:
+        dirty = self._dirty
+        for i in range(self._size):
+            dirty[i] = True
+
+    def _min_horizon(self) -> int:
+        if self._vector_min:
+            return int(self._kernels.min_horizon(self._col))
+        return min(self._h)
+
+    def runnable_count(self, cycle: int) -> int:
+        """Stations due at ``cycle`` (diagnostic; batched via kernel)."""
+        return self._kernels.runnable_count(self._col, cycle)
+
+    # -- stepping --------------------------------------------------------
+
+    def _step(self) -> None:
+        """One stepped cycle: run due/fed stations in tick order."""
+        sys_ = self.system
+        cycle = sys_.current_cycle
+        h = self._h
+        dirty = self._dirty
+        n = self._n
+
+        if self._inj is not None and h[self._inj] <= cycle:
+            # The injector may mutate arbitrary stations this cycle
+            # (bursts into shapers, staging floods, link stalls); run
+            # the canonical full tick and re-poll everything.
+            sys_.tick()
+            self._mark_all_dirty()
+            done = self._done
+            undone = 0
+            for i, core in enumerate(sys_.cores):
+                done[i] = core.done
+                if not done[i]:
+                    undone += 1
+            self._undone = undone
+            return
+
+        stations = self._stations
+        done = self._done
+        path_occ = self._path_occ
+        req0 = self._req0
+        for i in range(n):
+            path_occ[i] = stations[req0 + i].occupancy
+            if done[i]:
+                continue
+            if h[i] <= cycle:
+                self._core_tick[i](cycle)
+                dirty[i] = True
+                if stations[i].done:
+                    done[i] = True
+                    self._undone -= 1
+            else:
+                # Provably a bookkeeping-only cycle for this core:
+                # replay it in closed form (same contract the span
+                # skip uses, over a one-cycle span).
+                self._core_skip[i](cycle, cycle + 1)
+
+        any_path_ran = False
+        for i in range(n):
+            j = req0 + i
+            if h[j] <= cycle or stations[j].occupancy != path_occ[i]:
+                self._path_tick[i](cycle)
+                dirty[j] = True
+                any_path_ran = True
+            else:
+                skip = self._path_skip[i]
+                if skip is not None:
+                    skip(cycle, cycle + 1)
+
+        controller = sys_.controller
+        staging = sys_._mc_staging
+        j = self._reqlink
+        if h[j] <= cycle or any_path_ran:
+            link = sys_.request_link
+            link.tick(
+                cycle,
+                dest_ready=controller.can_accept() and not staging,
+            )
+            dirty[j] = True
+            for txn in link.pop_arrivals(cycle):
+                staging.append(txn)
+
+        fed_controller = False
+        if staging and controller.can_accept():
+            while staging and controller.can_accept():
+                controller.enqueue(staging.popleft(), cycle)
+            fed_controller = True
+        if h[self._ctrl] <= cycle or fed_controller:
+            controller.tick(cycle)
+            dirty[self._ctrl] = True
+
+        any_resp_ran = False
+        for i in range(n):
+            j = self._resp0 + i
+            path = stations[j]
+            fed_path = False
+            if controller.pending_response_count(i):
+                while path.can_accept():
+                    popped = controller.pop_responses(i, limit=1)
+                    if not popped:
+                        break
+                    path.push_response(popped[0], cycle)
+                    fed_path = True
+                if fed_path:
+                    # Freed egress room can unfence this core's
+                    # transactions; the controller's horizon must be
+                    # re-polled even if it did not run.
+                    dirty[self._ctrl] = True
+            if h[j] <= cycle or fed_path:
+                self._resp_tick[i](cycle)
+                dirty[j] = True
+                any_resp_ran = True
+
+        j = self._resplink
+        if h[j] <= cycle or any_resp_ran:
+            link = sys_.response_link
+            link.tick(cycle)
+            dirty[j] = True
+            for txn in link.pop_arrivals(cycle):
+                sys_._deliver(txn, cycle)
+                core_id = txn.core_id
+                # A fill wakes the core and may queue writebacks into
+                # its request path.
+                dirty[core_id] = True
+                dirty[self._req0 + core_id] = True
+
+        if sys_._obs_cycle_hooks:
+            sys_.observability.on_cycle_end(cycle)
+        sys_.current_cycle = cycle + 1
+
+    def _next_target(self, limit: int) -> Optional[int]:
+        """Mirror of :meth:`System._next_event_target` on the ledger."""
+        sys_ = self.system
+        cycle = sys_.current_cycle
+        controller = sys_.controller
+        if sys_._mc_staging and controller.can_accept():
+            return None
+        response_paths = sys_.response_paths
+        for i in range(self._n):
+            if response_paths[i].can_accept() and (
+                controller.pending_response_count(i)
+            ):
+                return None
+        earliest = self._min_horizon()
+        if earliest <= cycle:
+            return None
+        return earliest if earliest < limit else limit
+
+    # -- run loop --------------------------------------------------------
+
+    def run(
+        self,
+        max_cycles: int,
+        stop_when_done: bool = True,
+        watchdog_cycles: int = 200_000,
+    ):
+        """Mirror of :meth:`System.run`'s next-event loop, ledger-driven."""
+        sys_ = self.system
+        res = sys_.resilience
+        checkpoint_every = 0
+        watchdog_dump_path = ""
+        if res is not None:
+            checkpoint_every = res.config.checkpoint_every
+            watchdog_dump_path = res.config.watchdog_dump_path
+            if res.config.watchdog_cycles is not None:
+                watchdog_cycles = res.config.watchdog_cycles
+        watchdog = Watchdog(
+            watchdog_cycles,
+            dump_path=watchdog_dump_path,
+            tracer=(
+                sys_.observability.tracer
+                if sys_.observability is not None
+                else NULL_TRACER
+            ),
+        )
+        watchdog.reset(sys_)
+        end = sys_.current_cycle + max_cycles
+        self._refresh_horizons(sys_.current_cycle)
+        while sys_.current_cycle < end:
+            if stop_when_done and not self._undone:
+                break
+            self._step()
+            if checkpoint_every and sys_.current_cycle % checkpoint_every == 0:
+                res.take_checkpoint(sys_)
+            self._refresh_horizons(sys_.current_cycle)
+            skipped = False
+            if sys_.current_cycle < end and not (
+                stop_when_done and not self._undone
+            ):
+                target = self._next_target(end)
+                if watchdog_cycles and target is not None:
+                    target = min(
+                        target, watchdog.horizon(sys_.current_cycle)
+                    )
+                if checkpoint_every and target is not None:
+                    target = min(
+                        target,
+                        res.next_checkpoint_boundary(sys_.current_cycle),
+                    )
+                if target is not None and target > sys_.current_cycle:
+                    sys_._skip_idle_span(target)
+                    skipped = True
+                    if (
+                        checkpoint_every
+                        and sys_.current_cycle % checkpoint_every == 0
+                    ):
+                        res.take_checkpoint(sys_)
+            if watchdog_cycles and (
+                skipped or (sys_.current_cycle & 0xFF) == 0
+            ):
+                watchdog.observe(sys_)
+        return sys_.report()

@@ -1,10 +1,17 @@
-"""Differential tests: the next-event engine is bit-identical.
+"""Differential tests: the fast engines are bit-identical.
 
-``System.run(..., engine="next_event")`` must produce *exactly* the
+``System.run(..., engine="next_event")`` and
+``System.run(..., engine="columnar")`` must produce *exactly* the
 same :class:`~repro.sim.stats.SystemReport` as the default per-cycle
 loop — every latency, histogram, grant count and fake count.  These
-tests build the same system twice and compare the full reports via
-dataclass equality (histograms compare by value).
+tests build the same system once per engine and compare the full
+reports via dataclass equality (histograms compare by value).
+
+Because every assertion here runs all three engines, this file also
+pins the next-event loop's cached station scan (the components list
+built once per ``run`` window) and the columnar engine's dirty-marked
+horizon ledger: a stale cache in either would desynchronise the
+stepping sequence and diverge the reports.
 
 The fast cases cover each architectural feature once; the ``slow``
 sweep drives randomized combinations and belongs to the extended
@@ -64,10 +71,11 @@ def _shaped_builder(
 
 def _assert_engines_agree(make_builder, cycles=25_000, **run_kwargs):
     baseline = make_builder().build().run(cycles, **run_kwargs)
-    fast = make_builder().build().run(cycles, engine="next_event",
-                                      **run_kwargs)
-    assert baseline == fast
-    assert baseline.cycles_run == fast.cycles_run
+    for engine in ("next_event", "columnar"):
+        fast = make_builder().build().run(cycles, engine=engine,
+                                          **run_kwargs)
+        assert baseline == fast, f"engine={engine} diverged"
+        assert baseline.cycles_run == fast.cycles_run
 
 
 def test_unknown_engine_rejected():
@@ -209,18 +217,20 @@ def _assert_obs_identical(make_builder, cycles=25_000):
     build = _observed_builder(make_builder)
     systems = []
     reports = []
-    for engine in ("cycle", "next_event"):
+    for engine in ("cycle", "next_event", "columnar"):
         system = build().build()
         reports.append(system.run(cycles, engine=engine))
         systems.append(system)
-    baseline, fast = systems
-    assert reports[0] == reports[1]
-    obs_a, obs_b = baseline.observability, fast.observability
-    assert obs_a.tracer.events == obs_b.tracer.events
-    assert obs_a.tracer.counts == obs_b.tracer.counts
-    assert obs_a.sampler.samples == obs_b.sampler.samples
-    assert obs_a.monitor.history == obs_b.monitor.history
-    assert obs_a.monitor.violations == obs_b.monitor.violations
+    baseline = systems[0]
+    obs_a = baseline.observability
+    for fast, report in zip(systems[1:], reports[1:]):
+        assert reports[0] == report
+        obs_b = fast.observability
+        assert obs_a.tracer.events == obs_b.tracer.events
+        assert obs_a.tracer.counts == obs_b.tracer.counts
+        assert obs_a.sampler.samples == obs_b.sampler.samples
+        assert obs_a.monitor.history == obs_b.monitor.history
+        assert obs_a.monitor.violations == obs_b.monitor.violations
 
 
 class TestObservabilityEquivalence:

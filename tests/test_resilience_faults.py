@@ -3,7 +3,8 @@
 The contract under test (ISSUE acceptance, docs/resilience.md): each
 injected fault class ends in a **typed error** or a **monitor-flagged
 degraded mode** — never a silent shaping violation — and fault runs
-stay bit-identical between the two execution engines.
+stay bit-identical across all three execution engines (cycle,
+next_event, columnar).
 """
 
 import pytest
@@ -87,8 +88,9 @@ class TestScenarios:
         """Fault runs are deterministic and engine-invariant end to end."""
         cycles = 20_000
         slow = run_scenario(name, cycles=cycles, engine="cycle")
-        fast = run_scenario(name, cycles=cycles, engine="next_event")
-        assert slow == fast
+        for engine in ("next_event", "columnar"):
+            fast = run_scenario(name, cycles=cycles, engine=engine)
+            assert slow == fast, f"engine={engine} diverged on {name}"
 
 
 # -- fault spec validation -------------------------------------------------
