@@ -627,17 +627,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the repro-lint invariant checkers (RL001..RL004)",
+        help="run the repro-lint invariant checkers (RL001..RL009)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text")
     p.add_argument("--select", metavar="IDS",
                    help="comma-separated checker ids to run")
     p.add_argument("--baseline", metavar="PATH",
                    help="override the configured baseline file")
     p.add_argument("--no-baseline", action="store_true",
                    help="ignore the baseline file entirely")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-digest findings cache")
+    p.add_argument("--timings", action="store_true",
+                   help="print per-checker wall-clock times to stderr")
     p.add_argument("--list-checkers", action="store_true",
                    help="print the checker catalog and exit")
 
@@ -654,6 +659,8 @@ def _cmd_lint(args) -> int:
         no_baseline=args.no_baseline,
         select=args.select,
         list_checkers=args.list_checkers,
+        no_cache=args.no_cache,
+        timings=args.timings,
     )
 
 

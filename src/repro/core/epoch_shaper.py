@@ -105,6 +105,11 @@ class EpochRateController:
         """Record one intrinsic memory request this epoch."""
         self._demand_this_epoch += 1
 
+    # The demand->rate coupling below is the explicitly accounted
+    # E x log2(R) leakage channel (leakage_bound_bits): demand selects
+    # among the precomputed rate-set intervals at epoch boundaries
+    # only, so it is a sanctioned crossing of the RL007 trust boundary.
+    # repro-lint: sanitizer=RL007
     def maybe_advance_epoch(self, cycle: int, backlog: int = 0) -> bool:
         """Cross any due epoch boundary; returns True if one crossed.
 
@@ -122,6 +127,9 @@ class EpochRateController:
             crossed = True
         return crossed
 
+    # Same sanctioned epoch-boundary channel as maybe_advance_epoch:
+    # pressure/idle feedback moves one step within the fixed rate set.
+    # repro-lint: sanitizer=RL007
     def maybe_advance_with_feedback(
         self, cycle: int, pressure: bool, idle: bool
     ) -> bool:

@@ -1,0 +1,147 @@
+"""Content-digest-keyed findings cache for the lint runner.
+
+The interprocedural pass (RL007–RL009) re-reads and re-analyses the
+whole project on every run; this cache keeps the warm-path cost of
+``repro lint`` close to the pre-flow runtime by keying results on
+*content*, never on timestamps:
+
+* **per-module entries** — one per file, keyed on the file's source
+  digest, its project-relative path, the effective configuration, and
+  the set of per-module checkers that ran.  A file edit invalidates
+  exactly that file's entry.
+* **one whole-program entry** — keyed on the digest of *every*
+  ``(path, source-digest)`` pair plus config and the flow-checker
+  set, because a flow finding in module A can be caused by an edit in
+  module B; any edit anywhere invalidates the flow entry.
+
+Entries store findings *after* pragma filtering (pragmas live in the
+source, so they are part of the key) together with the suppression
+counts; the baseline is applied by the caller on every run — editing
+``lint-baseline.txt`` must never require a cache flush.
+
+Keys follow :class:`repro.parallel.ResultCache`: canonical-JSON
+digests (:func:`repro.common.util.canonical_json_digest`) with a
+two-level directory fan-out, written via
+:func:`repro.resilience.snapshot.atomic_write_bytes` so a crashed or
+concurrent run never leaves a torn entry.  A corrupt or unreadable
+entry is treated as a miss.  ``CACHE_VERSION`` participates in every
+key: bumping it (any change to checker logic, finding schema, or key
+composition) orphans old entries instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.util import canonical_json_digest
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.resilience.snapshot import atomic_write_bytes
+
+#: Bump on any change that alters findings for identical sources.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:32]
+
+
+def config_digest(config: LintConfig) -> str:
+    """Digest of every configuration field that can change findings."""
+    return canonical_json_digest(
+        {
+            "baseline": None,  # applied post-cache; never part of the key
+            "exclude": sorted(config.exclude),
+            "severity": {
+                cid: str(sev)
+                for cid, sev in config.severity_overrides.items()
+            },
+            "disable_per_path": {
+                pat: sorted(ids)
+                for pat, ids in config.disable_per_path.items()
+            },
+            "options": config.checker_options,
+        }
+    )
+
+
+class FindingsCache:
+    """Digest-keyed findings store under ``<root>/.repro-lint-cache``."""
+
+    def __init__(self, root: str, subdir: str = DEFAULT_CACHE_DIR) -> None:
+        self.dir = os.path.join(root, subdir)
+
+    # -- keys --------------------------------------------------------------
+
+    def module_key(
+        self,
+        rel_path: str,
+        src_digest: str,
+        cfg_digest: str,
+        checker_ids: Sequence[str],
+    ) -> str:
+        return canonical_json_digest(
+            {
+                "v": CACHE_VERSION,
+                "kind": "module",
+                "path": rel_path,
+                "source": src_digest,
+                "config": cfg_digest,
+                "checkers": sorted(checker_ids),
+            }
+        )
+
+    def flow_key(
+        self,
+        file_digests: Sequence[Tuple[str, str]],
+        cfg_digest: str,
+        checker_ids: Sequence[str],
+    ) -> str:
+        return canonical_json_digest(
+            {
+                "v": CACHE_VERSION,
+                "kind": "flow",
+                "files": sorted(file_digests),
+                "config": cfg_digest,
+                "checkers": sorted(checker_ids),
+            }
+        )
+
+    # -- storage -----------------------------------------------------------
+
+    def _path_for(self, key: str) -> str:
+        return os.path.join(self.dir, key[:2], key + ".json")
+
+    def load(self, key: str) -> Optional[Tuple[List[Finding], int]]:
+        """Cached ``(findings, pragma_suppressed)`` or None on miss."""
+        try:
+            with open(self._path_for(key), "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            findings = [Finding.from_dict(f) for f in doc["findings"]]
+            return findings, int(doc["pragma_suppressed"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(
+        self, key: str, findings: Sequence[Finding], pragma_suppressed: int
+    ) -> None:
+        payload = json.dumps(
+            {
+                "v": CACHE_VERSION,
+                "findings": [f.as_dict() for f in findings],
+                "pragma_suppressed": pragma_suppressed,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        path = self._path_for(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            atomic_write_bytes(path, payload)
+        except OSError:
+            # A read-only checkout degrades to cold runs, not failures.
+            pass

@@ -8,6 +8,11 @@ from repro.lint.checkers.rl005_bare_print import BarePrintChecker
 from repro.lint.checkers.rl006_swallowed_exceptions import (
     SwallowedExceptionChecker,
 )
+from repro.lint.checkers.rl007_secret_independence import (
+    SecretIndependenceChecker,
+)
+from repro.lint.checkers.rl008_dirty_marks import DirtyMarkChecker
+from repro.lint.checkers.rl009_rng_streams import RngStreamChecker
 
 __all__ = [
     "DeterminismChecker",
@@ -16,4 +21,7 @@ __all__ = [
     "MutableSharedStateChecker",
     "BarePrintChecker",
     "SwallowedExceptionChecker",
+    "SecretIndependenceChecker",
+    "DirtyMarkChecker",
+    "RngStreamChecker",
 ]

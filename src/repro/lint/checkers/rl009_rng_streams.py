@@ -1,0 +1,171 @@
+"""RL009: all randomness must come from the DeterministicRng streams.
+
+RL001 already bans raw ``random.*``/``numpy.random.*`` calls — but
+with a *file-level* allow list: everything in ``repro/common/rng.py``
+is exempt, so a convenience wrapper added to that file (or a module
+re-exporting one) silently becomes an unseeded randomness source the
+whole project can reach while RL001 stays green.
+
+RL009 refines the discipline to *function* granularity using the
+project call graph:
+
+* a raw-randomness primitive (``random.*``, ``numpy.random.*``,
+  ``secrets.*`` — alias-resolved, so ``np.random.default_rng`` and
+  ``from random import Random`` are both seen) may be called only
+  from the sanctioned qualnames (``repro.common.rng
+  .DeterministicRng.*`` by default — the seeded wrapper and its
+  ``fork``/``substream`` derivation methods);
+* every other call site is flagged, wherever the file lives —
+  including wrapper helpers inside the RL001-allow-listed module;
+* findings carry a reachability path: the raw call, its enclosing
+  function, and an example project caller, so a wrapper's blast
+  radius is visible in the report;
+* module-level and class-body calls (``_RNG = random.Random()`` as a
+  global) are flagged unconditionally — no function, no sanction.
+
+Instance method calls through a :class:`DeterministicRng` handle
+(``self._rng.randint(...)``) never match: patterns are anchored
+against the full alias-canonicalised dotted text.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from typing import Iterable, List, Tuple
+
+from repro.lint.findings import Finding, FlowStep
+from repro.lint.registry import FlowChecker, register
+
+_BANNED_CALLS = [
+    "random.*",
+    "numpy.random.*",
+    "secrets.*",
+]
+
+_ALLOW_FUNCTIONS = [
+    "repro.common.rng.DeterministicRng.*",
+]
+
+_HINT = (
+    "draw from a repro.common.rng.DeterministicRng stream (fork() or "
+    "substream() for an independent one; numpy via .numpy_generator())"
+)
+
+
+def _matches(dotted: str, patterns: Iterable[str]) -> bool:
+    return any(fnmatchcase(dotted, p) for p in patterns)
+
+
+class _ModuleLevelCalls(ast.NodeVisitor):
+    """Collect Call nodes outside any function body (class bodies and
+    module top level — where a stray global RNG would be built)."""
+
+    def __init__(self) -> None:
+        self.calls: List[ast.Call] = []
+
+    def visit_FunctionDef(self, node) -> None:  # stop descent
+        return
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        return
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+@register
+class RngStreamChecker(FlowChecker):
+    id = "RL009"
+    name = "rng-stream-discipline"
+    description = (
+        "raw random.*/np.random.* use is only sanctioned inside "
+        "DeterministicRng, wherever the call site lives"
+    )
+
+    def check_project(self, project) -> Iterable[Finding]:
+        opts = project.options_for(self.id)
+        banned = opts.get("banned-calls", _BANNED_CALLS)
+        allowed = opts.get("allow-functions", _ALLOW_FUNCTIONS)
+
+        index = project.index
+        callgraph = project.callgraph
+        findings: List[Finding] = []
+
+        for qual in sorted(index.functions):
+            info = index.functions[qual]
+            if _matches(qual, allowed):
+                continue
+            for node, dotted, _targets in callgraph.call_sites.get(qual, []):
+                if not dotted or not _matches(dotted, banned):
+                    continue
+                findings.append(
+                    project.finding(
+                        self.id,
+                        info.path,
+                        node,
+                        f"call to '{dotted}' (unseeded randomness) in "
+                        f"{qual}, outside the sanctioned "
+                        "DeterministicRng streams",
+                        hint=_HINT,
+                        key=f"{qual}.{dotted}",
+                        flow=self._reach_flow(
+                            info, node, dotted, callgraph, index
+                        ),
+                        default_severity=self.default_severity,
+                    )
+                )
+
+        # Module/class-level calls have no enclosing function to
+        # sanction; a global `random.Random()` is always a finding.
+        for path in sorted(project.modules):
+            mod = project.modules[path]
+            collector = _ModuleLevelCalls()
+            collector.visit(mod.tree)
+            for node in collector.calls:
+                dotted = callgraph.dotted_text(path, node.func)
+                if not dotted or not _matches(dotted, banned):
+                    continue
+                findings.append(
+                    project.finding(
+                        self.id,
+                        path,
+                        node,
+                        f"module-level call to '{dotted}' (unseeded "
+                        "randomness) — global RNG state is never "
+                        "sanctioned",
+                        hint=_HINT,
+                        key=f"<module>.{dotted}",
+                        default_severity=self.default_severity,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _reach_flow(
+        info, node, dotted, callgraph, index
+    ) -> Tuple[FlowStep, ...]:
+        steps = [
+            FlowStep(info.path, node.lineno, f"raw call to '{dotted}'"),
+            FlowStep(
+                info.path, info.lineno,
+                f"inside {info.qualname} (not a sanctioned stream)",
+            ),
+        ]
+        callers = sorted(callgraph.callers.get(info.qualname, ()))
+        if callers:
+            caller = index.functions.get(callers[0])
+            if caller is not None:
+                steps.append(
+                    FlowStep(
+                        caller.path, caller.lineno,
+                        f"reachable from {caller.qualname}"
+                        + (
+                            f" and {len(callers) - 1} other caller(s)"
+                            if len(callers) > 1
+                            else ""
+                        ),
+                    )
+                )
+        return tuple(steps)

@@ -16,8 +16,11 @@ policy)::
     [tool.repro-lint.rl001]
     allow-paths = ["repro/common/rng.py"]
 
-Per-checker tables (``rl001`` .. ``rl004``) are passed verbatim to the
-checker as its ``options`` dict.
+Per-checker tables (``rl001`` .. ``rl009``) are passed verbatim to the
+checker as its ``options`` dict.  The shared ``[tool.repro-lint.flow]``
+table carries project-wide vocabulary for the interprocedural checkers
+(RL007–RL009), e.g. extra ``sanitizers`` unioned with RL007's own list
+and the ``# repro-lint: sanitizer=`` pragmas.
 
 Python 3.11+ parses with :mod:`tomllib`; on 3.9/3.10 (no tomllib, and
 the container policy forbids adding ``tomli``) a minimal TOML-subset
@@ -111,7 +114,12 @@ def config_from_table(table: dict, project_root: str = ".") -> LintConfig:
     for pattern, ids in table.get("disable-per-path", {}).items():
         config.disable_per_path[pattern] = list(ids)
     for key, value in table.items():
-        if isinstance(value, dict) and key.lower().startswith("rl"):
+        # Per-checker tables (rl001..rl009) plus the shared [*.flow]
+        # table the flow checkers read for project-wide vocabulary
+        # (extra sanitizers, etc.).
+        if isinstance(value, dict) and (
+            key.lower().startswith("rl") or key.lower() == "flow"
+        ):
             config.checker_options[key.lower()] = value
     return config
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Tuple
 
 
 class Severity(enum.IntEnum):
@@ -33,11 +34,39 @@ class Severity(enum.IntEnum):
 
 
 @dataclass(frozen=True)
+class FlowStep:
+    """One hop of an interprocedural source→sink flow path.
+
+    Emitted by the flow checkers (RL007–RL009): the first step is the
+    taint source, the last the sink, intermediate steps the calls and
+    assignments the taint travelled through.  Rendered as indented
+    continuation lines in text output and as ``codeFlows`` in SARIF.
+    """
+
+    path: str
+    line: int
+    note: str
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FlowStep":
+        return cls(
+            path=doc.get("path", ""),
+            line=int(doc.get("line", 1)),
+            note=doc.get("note", ""),
+        )
+
+
+@dataclass(frozen=True)
 class Finding:
     """One diagnostic emitted by a checker.
 
     ``path`` is always project-root-relative with forward slashes so
     findings (and baseline entries) are portable across machines.
+    ``flow`` (flow checkers only) is the source→sink path, source
+    first.
     """
 
     checker_id: str
@@ -48,6 +77,7 @@ class Finding:
     message: str
     hint: str = ""
     key: str = ""
+    flow: Tuple[FlowStep, ...] = ()
 
     @property
     def suppression_key(self) -> str:
@@ -61,6 +91,14 @@ class Finding:
         )
         if self.hint:
             text += f" (hint: {self.hint})"
+        for i, step in enumerate(self.flow):
+            role = (
+                "source" if i == 0
+                else ("sink" if i == len(self.flow) - 1 else "via")
+            )
+            text += (
+                f"\n    {role}: {step.path}:{step.line}  {step.note}"
+            )
         return text
 
     def as_dict(self) -> dict:
@@ -73,7 +111,25 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
             "key": self.key,
+            "flow": [step.as_dict() for step in self.flow],
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Finding":
+        """Inverse of :meth:`as_dict` (the AST/summary cache layer)."""
+        return cls(
+            checker_id=doc["checker"],
+            severity=Severity.parse(doc["severity"]),
+            path=doc["path"],
+            line=int(doc["line"]),
+            column=int(doc["column"]),
+            message=doc["message"],
+            hint=doc.get("hint", ""),
+            key=doc.get("key", ""),
+            flow=tuple(
+                FlowStep.from_dict(step) for step in doc.get("flow", [])
+            ),
+        )
 
 
 def sort_findings(findings):

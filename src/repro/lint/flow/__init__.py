@@ -1,0 +1,43 @@
+"""Interprocedural dataflow layer for :mod:`repro.lint`.
+
+The per-function checkers (RL001–RL006) see one module at a time; this
+package adds the whole-program view the secret-independence invariant
+needs (docs/static-analysis.md, "The flow framework"):
+
+* :mod:`repro.lint.flow.project` — the parsed-module universe a flow
+  checker analyses (:class:`FlowProject`), with module-name mapping
+  and per-function sanitizer pragmas.
+* :mod:`repro.lint.flow.summaries` — per-function def-use summaries
+  (:class:`FunctionInfo`) and the project-wide symbol index.
+* :mod:`repro.lint.flow.callgraph` — name/alias-resolved call edges
+  over the project (:class:`CallGraph`).
+* :mod:`repro.lint.flow.taint` — the configurable taint engine
+  (:class:`TaintSpec`, :class:`TaintEngine`): sources, sinks and
+  sanitizers declared per checker, fixed-point propagation through
+  call edges, attribute accesses and container writes, findings that
+  carry the full source→sink flow path.
+
+Checkers built on this layer subclass
+:class:`repro.lint.registry.FlowChecker` and implement
+``check_project`` instead of ``check_module``.
+"""
+
+from repro.lint.findings import FlowStep
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.project import FlowProject, ProjectModule
+from repro.lint.flow.summaries import FunctionInfo, ProjectIndex, build_index
+from repro.lint.flow.taint import TaintEngine, TaintHit, TaintSpec, run_taint
+
+__all__ = [
+    "CallGraph",
+    "FlowProject",
+    "ProjectModule",
+    "FunctionInfo",
+    "ProjectIndex",
+    "build_index",
+    "FlowStep",
+    "TaintEngine",
+    "TaintHit",
+    "TaintSpec",
+    "run_taint",
+]

@@ -91,6 +91,24 @@ class Checker:
         )
 
 
+class FlowChecker(Checker):
+    """Base class for whole-program (interprocedural) checkers.
+
+    Flow checkers see the entire :class:`repro.lint.flow.FlowProject`
+    at once instead of one module at a time; the runner invokes
+    :meth:`check_project` exactly once per run, after the per-module
+    pass.  ``check_module`` is a no-op so a flow checker can share the
+    registry and id space (RLnnn) with the local checkers.
+    """
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        """Analyse a :class:`repro.lint.flow.FlowProject`."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Checker]] = {}
 
 

@@ -1,12 +1,23 @@
 """The lint driver: walk files, run checkers, filter, render, exit.
 
+Two passes per run:
+
+1. **per-module** — every :class:`~repro.lint.registry.Checker` sees
+   one parsed module at a time (RL001–RL006);
+2. **whole-program** — every :class:`~repro.lint.registry.FlowChecker`
+   sees the full :class:`~repro.lint.flow.FlowProject` once
+   (RL007–RL009), after all files are read, so findings can follow
+   flows across modules.
+
 Public surface:
 
 * :func:`run` — programmatic entry returning an exit code, used by the
-  ``repro lint`` CLI subcommand.
+  ``repro lint`` CLI subcommand.  Uses the findings cache by default.
 * :func:`main` — argparse front end behind ``python -m repro.lint``.
 * :func:`lint_paths` / :func:`lint_source` — library API the test
-  suite drives directly.
+  suite drives directly (cache off unless passed in).  ``lint_source``
+  runs the flow pass over the single module, so interprocedural
+  checkers are unit-testable one source string at a time.
 """
 
 from __future__ import annotations
@@ -16,13 +27,14 @@ import ast
 import json
 import os
 import sys
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.baseline import Baseline, BaselineFormatError, load_baseline
+from repro.lint.cache import FindingsCache, config_digest, source_digest
 from repro.lint.config import LintConfig, find_project_root, load_config
 from repro.lint.findings import Finding, LintResult, Severity, sort_findings
 from repro.lint.pragmas import is_suppressed, parse_pragmas
-from repro.lint.registry import ModuleContext, all_checkers
+from repro.lint.registry import FlowChecker, ModuleContext, all_checkers
 
 
 def iter_python_files(paths: Sequence[str], config: LintConfig) -> List[str]:
@@ -50,15 +62,62 @@ def _rel_path(path: str, root: str) -> str:
     return rel.replace(os.sep, "/")
 
 
+def _split_checkers(select: Optional[Iterable[str]]):
+    """(per-module checkers, flow checkers) honouring ``--select``."""
+    selected = {s.upper() for s in select} if select else None
+    local, flow = [], []
+    for checker in all_checkers():
+        if selected is not None and checker.id not in selected:
+            continue
+        (flow if isinstance(checker, FlowChecker) else local).append(checker)
+    return local, flow
+
+
+def _time_call(timings: Optional[Dict[str, float]], checker_id: str):
+    """Context manager accumulating wall-clock per checker id."""
+
+    class _Timer:
+        def __enter__(self):
+            if timings is not None:
+                # repro-lint: disable-next-line=RL001
+                import time
+
+                # Wall clock is fine here: --timings is diagnostic
+                # tooling output, never simulated behaviour.
+                # repro-lint: disable-next-line=RL001
+                self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            if timings is not None:
+                # repro-lint: disable-next-line=RL001
+                import time
+
+                # repro-lint: disable-next-line=RL001
+                elapsed = time.perf_counter() - self._t0
+                timings[checker_id] = timings.get(checker_id, 0.0) + elapsed
+            return False
+
+    return _Timer()
+
+
 def lint_source(
     source: str,
     rel_path: str,
     config: Optional[LintConfig] = None,
     select: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
-    """Lint one module given as text (the unit-test entry point)."""
+    """Lint one module given as text (the unit-test entry point).
+
+    Runs both passes: flow checkers see a one-module project, which is
+    exactly what the fixture tests feed them.
+    """
+    config = config or LintConfig()
     findings, _ = _lint_module(source, rel_path, config, select)
-    return findings
+    flow_findings, _ = _run_flow_pass(
+        [(rel_path, source)], config, select
+    )
+    return findings + flow_findings
 
 
 def _lint_module(
@@ -66,10 +125,10 @@ def _lint_module(
     rel_path: str,
     config: Optional[LintConfig] = None,
     select: Optional[Iterable[str]] = None,
+    timings: Optional[Dict[str, float]] = None,
 ):
-    """Lint one module; returns (findings, pragma_suppressed_count)."""
+    """Per-module pass; returns (findings, pragma_suppressed_count)."""
     config = config or LintConfig()
-    selected = {s.upper() for s in select} if select else None
     try:
         tree = ast.parse(source, filename=rel_path)
     except SyntaxError as exc:
@@ -86,10 +145,9 @@ def _lint_module(
         ], 0
     disabled_per_path = set(config.disabled_for_path(rel_path))
     pragma_map = parse_pragmas(source)
+    local, _flow = _split_checkers(select)
     findings: List[Finding] = []
-    for checker in all_checkers():
-        if selected is not None and checker.id not in selected:
-            continue
+    for checker in local:
         if checker.id in disabled_per_path:
             continue
         module = ModuleContext(
@@ -99,8 +157,9 @@ def _lint_module(
             options=config.options_for(checker.id),
             severity=config.severity_for(checker.id, checker.default_severity),
         )
-        for finding in checker.check_module(module):
-            findings.append(finding)
+        with _time_call(timings, checker.id):
+            for finding in checker.check_module(module):
+                findings.append(finding)
     kept = [
         f for f in findings
         if not is_suppressed(pragma_map, f.line, f.checker_id)
@@ -108,28 +167,121 @@ def _lint_module(
     return kept, len(findings) - len(kept)
 
 
+def _run_flow_pass(
+    sources: Sequence[Tuple[str, str]],
+    config: LintConfig,
+    select: Optional[Iterable[str]] = None,
+    timings: Optional[Dict[str, float]] = None,
+):
+    """Whole-program pass; returns (findings, pragma_suppressed_count).
+
+    Findings are filtered through the same pragma and per-path-disable
+    machinery as the per-module pass, keyed by each finding's own
+    path.
+    """
+    _local, flow = _split_checkers(select)
+    if not flow:
+        return [], 0
+    from repro.lint.flow import FlowProject
+
+    project = FlowProject.from_sources(sources, config=config)
+    raw: List[Finding] = []
+    for checker in flow:
+        with _time_call(timings, checker.id):
+            raw.extend(checker.check_project(project))
+    pragma_maps = {
+        path: parse_pragmas(source) for path, source in sources
+    }
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        if finding.checker_id in set(config.disabled_for_path(finding.path)):
+            continue
+        if is_suppressed(
+            pragma_maps.get(finding.path, {}), finding.line,
+            finding.checker_id,
+        ):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
 def lint_paths(
     paths: Sequence[str],
     config: LintConfig,
     baseline: Optional[Baseline] = None,
     select: Optional[Iterable[str]] = None,
+    cache: Optional[FindingsCache] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> LintResult:
-    """Lint files/directories and apply the baseline."""
+    """Lint files/directories and apply the baseline.
+
+    With a ``cache``, per-module results are keyed on each file's
+    content digest and the whole-program (flow) result on the digest
+    of every file — see :mod:`repro.lint.cache`.  The baseline is
+    applied after the cache on every run.
+    """
+    local_ids = [c.id for c in _split_checkers(select)[0]]
+    flow_ids = [c.id for c in _split_checkers(select)[1]]
+    cfg_digest = config_digest(config) if cache is not None else ""
+
     result = LintResult()
+    sources: List[Tuple[str, str]] = []
     for file_path in iter_python_files(paths, config):
         rel = _rel_path(file_path, config.project_root)
         if config.is_excluded(rel):
             continue
         with open(file_path, "r", encoding="utf-8") as fh:
-            source = fh.read()
-        file_findings, pragma_hits = _lint_module(source, rel, config, select)
-        result.pragma_suppressed += pragma_hits
+            sources.append((rel, fh.read()))
+
+    pre_baseline: List[Finding] = []
+    for rel, source in sources:
         result.files_checked += 1
-        for finding in file_findings:
-            if baseline is not None and baseline.suppresses(finding):
-                result.baseline_suppressed += 1
-            else:
-                result.findings.append(finding)
+        cached = None
+        key = ""
+        if cache is not None:
+            key = cache.module_key(
+                rel, source_digest(source), cfg_digest, local_ids
+            )
+            cached = cache.load(key)
+        if cached is not None:
+            file_findings, pragma_hits = cached
+        else:
+            file_findings, pragma_hits = _lint_module(
+                source, rel, config, select, timings=timings
+            )
+            if cache is not None:
+                cache.store(key, file_findings, pragma_hits)
+        result.pragma_suppressed += pragma_hits
+        pre_baseline.extend(file_findings)
+
+    if flow_ids:
+        cached = None
+        key = ""
+        if cache is not None:
+            key = cache.flow_key(
+                [(rel, source_digest(src)) for rel, src in sources],
+                cfg_digest,
+                flow_ids,
+            )
+            cached = cache.load(key)
+        if cached is not None:
+            flow_findings, pragma_hits = cached
+        else:
+            flow_findings, pragma_hits = _run_flow_pass(
+                sources, config, select, timings=timings
+            )
+            if cache is not None:
+                cache.store(key, flow_findings, pragma_hits)
+        result.pragma_suppressed += pragma_hits
+        pre_baseline.extend(flow_findings)
+
+    for finding in pre_baseline:
+        if baseline is not None and baseline.suppresses(finding):
+            result.baseline_suppressed += 1
+        else:
+            result.findings.append(finding)
     result.findings = sort_findings(result.findings)
     if baseline is not None:
         result.unused_baseline = baseline.unused_entries()
@@ -176,6 +328,20 @@ def render_json(result: LintResult, out=None) -> None:
     out.write("\n")
 
 
+def render_timings(timings: Dict[str, float], out=None) -> None:
+    """Per-checker wall-clock table (``--timings``), slowest first.
+
+    Cache hits skip checker execution entirely, so a warm run shows
+    (near-)zero rows — that asymmetry is the point of the flag.
+    """
+    out = out or sys.stderr
+    total = sum(timings.values())
+    print("checker timings (wall clock):", file=out)
+    for cid in sorted(timings, key=lambda c: (-timings[c], c)):
+        print(f"  {cid:<8} {timings[cid] * 1000.0:9.1f} ms", file=out)
+    print(f"  {'total':<8} {total * 1000.0:9.1f} ms", file=out)
+
+
 # -- CLI -------------------------------------------------------------------
 
 
@@ -185,7 +351,8 @@ def build_arg_parser(prog: str = "repro.lint") -> argparse.ArgumentParser:
         description=(
             "repro-lint: AST-based invariant checks for simulator "
             "soundness (determinism, integer cycle math, the next-event "
-            "contract, shared-state hazards)"
+            "contract, shared-state hazards, and whole-program flow "
+            "checks for secret-independence)"
         ),
     )
     parser.add_argument(
@@ -193,7 +360,7 @@ def build_arg_parser(prog: str = "repro.lint") -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format",
     )
     parser.add_argument(
@@ -209,6 +376,14 @@ def build_arg_parser(prog: str = "repro.lint") -> argparse.ArgumentParser:
         help="ignore the baseline file entirely",
     )
     parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-digest findings cache",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-checker wall-clock times to stderr",
+    )
+    parser.add_argument(
         "--list-checkers", action="store_true",
         help="print the checker catalog and exit",
     )
@@ -222,15 +397,18 @@ def run(
     no_baseline: bool = False,
     select: Optional[str] = None,
     list_checkers: bool = False,
+    no_cache: bool = False,
+    timings: bool = False,
     out=None,
 ) -> int:
     """Programmatic entry point; returns the process exit code."""
     out = out or sys.stdout
     if list_checkers:
         for checker in all_checkers():
+            kind = "flow" if isinstance(checker, FlowChecker) else "module"
             print(
                 f"{checker.id}  {checker.name}  [{checker.default_severity}]"
-                f"  {checker.description}",
+                f"  ({kind})  {checker.description}",
                 file=out,
             )
         return 0
@@ -250,11 +428,22 @@ def run(
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
     selected = [s for s in (select or "").split(",") if s.strip()] or None
-    result = lint_paths(paths, config, baseline=baseline, select=selected)
+    cache = None if no_cache else FindingsCache(root)
+    timing_table: Optional[Dict[str, float]] = {} if timings else None
+    result = lint_paths(
+        paths, config, baseline=baseline, select=selected,
+        cache=cache, timings=timing_table,
+    )
     if output_format == "json":
         render_json(result, out)
+    elif output_format == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        render_sarif(result, out)
     else:
         render_text(result, out)
+    if timing_table is not None:
+        render_timings(timing_table)
     return result.exit_code
 
 
@@ -271,4 +460,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         no_baseline=args.no_baseline,
         select=args.select,
         list_checkers=args.list_checkers,
+        no_cache=args.no_cache,
+        timings=args.timings,
     )

@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 rendering for lint results.
+
+``repro lint --format sarif`` emits one run containing the full rule
+catalog (so GitHub code scanning can show rule help on findings that
+reference them), one ``result`` per finding, and — for flow checkers
+— a ``codeFlows`` thread walking the source→sink path, which the
+code-scanning UI renders as a step-through trace.
+
+The schema subset used here is deliberately small (driver rules,
+physical locations, one threadFlow per result) and stable; see
+https://docs.oasis-open.org/sarif/sarif/v2.1.0/ for the full spec.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.lint.findings import Finding, LintResult, Severity
+from repro.lint.registry import all_checkers
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rules() -> list:
+    rules = []
+    for checker in all_checkers():
+        rules.append(
+            {
+                "id": checker.id,
+                "name": checker.name,
+                "shortDescription": {"text": checker.name},
+                "fullDescription": {"text": checker.description},
+                "defaultConfiguration": {
+                    "level": _LEVELS[checker.default_severity]
+                },
+                "helpUri": (
+                    "https://github.com/"  # resolved by the hosting repo
+                    "../blob/main/docs/static-analysis.md"
+                ),
+            }
+        )
+    return rules
+
+
+def _location(path: str, line: int, column: int = 1, message: str = "") -> dict:
+    loc = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "%SRCROOT%"},
+            "region": {
+                "startLine": max(1, line),
+                "startColumn": max(1, column),
+            },
+        }
+    }
+    if message:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def _result(finding: Finding) -> dict:
+    result = {
+        "ruleId": finding.checker_id,
+        "level": _LEVELS[finding.severity],
+        "message": {
+            "text": finding.message
+            + (f" (hint: {finding.hint})" if finding.hint else "")
+        },
+        "locations": [
+            _location(finding.path, finding.line, finding.column)
+        ],
+        "partialFingerprints": {
+            "reproLintKey": finding.suppression_key,
+        },
+    }
+    if finding.flow:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": _location(
+                                    step.path, step.line, message=step.note
+                                )
+                            }
+                            for step in finding.flow
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def render_sarif(result: LintResult, out=None) -> None:
+    out = out or sys.stdout
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "docs/static-analysis.md"
+                        ),
+                        "rules": _rules(),
+                    }
+                },
+                "results": [_result(f) for f in result.findings],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+    json.dump(doc, out, indent=2, sort_keys=True)
+    out.write("\n")
