@@ -1,13 +1,17 @@
 """Observability overhead gate + traced smoke run (CI entry point).
 
-Two claims back the "near-zero overhead when disabled" contract of
+Three claims back the "near-zero overhead when disabled" contract of
 ``repro.obs`` (docs/observability.md):
 
 1. A system built *with* an observability config whose facilities are
    all off runs within a few percent of a system built without one —
    the hot path pays one cached boolean per tick and one
    ``tracer.enabled`` branch per would-be emission, nothing else.
-2. A fully traced run works end to end and exports a valid Chrome
+2. The engine self-profiler stays inside the same budget even when
+   *enabled* (its accounting is closed-form run bracketing plus
+   per-skip/per-station integer increments), and never perturbs the
+   run report.
+3. A fully traced run works end to end and exports a valid Chrome
    trace (uploaded as a CI artifact for eyeballing in Perfetto).
 
 Timing uses best-of-N minima (the standard way to cut scheduler noise
@@ -148,6 +152,26 @@ def main(argv=None):
           f"(median of {args.repeats} paired ratios, "
           f"bound: {args.threshold:.1f}%)")
 
+    # The engine self-profiler's claim is stronger than "off is free":
+    # even *enabled* it is closed-form run bracketing (plus per-skip
+    # and per-station increments on the fast engines), so it must fit
+    # in the same budget as the disabled-obs path — and must not
+    # perturb the report.
+    prof_ratio, (_, prof_time), (unprof_report, prof_report) = (
+        _paired_overhead(
+            lambda: _builder().with_observability().build(),
+            lambda: _builder().with_observability(profile=True).build(),
+            args.cycles, args.repeats,
+        )
+    )
+    if prof_report != unprof_report or prof_report != plain_report:
+        print("FAIL: the profiler perturbed the report", file=sys.stderr)
+        return 1
+    prof_overhead = (prof_ratio - 1.0) * 100.0
+    print(f"profiler enabled: {prof_time * 1e3:8.1f} ms")
+    print(f"profiler-enabled overhead: {prof_overhead:+.2f}% "
+          f"(vs obs attached/off, bound: {args.threshold:.1f}%)")
+
     if args.trace_out:
         traced_time, traced_report = _best_of(
             lambda: _builder().with_observability(
@@ -180,6 +204,10 @@ def main(argv=None):
     if args.check and overhead > args.threshold:
         print(f"FAIL: disabled-obs overhead {overhead:.2f}% exceeds "
               f"{args.threshold:.1f}%", file=sys.stderr)
+        return 1
+    if args.check and prof_overhead > args.threshold:
+        print(f"FAIL: profiler-enabled overhead {prof_overhead:.2f}% "
+              f"exceeds {args.threshold:.1f}%", file=sys.stderr)
         return 1
     return 0
 

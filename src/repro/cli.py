@@ -55,6 +55,8 @@ _EXPERIMENTS = {
     "faults": "run a fault-injection scenario (repro.resilience harness)",
     "sweep": "run a parameter sweep across worker processes (--jobs)",
     "cache": "inspect/prune/clear the sweep result cache",
+    "serve": "serve live /metrics, /healthz and /monitor during a run",
+    "profile": "engine self-profile: per-station work and skip-span rollup",
 }
 
 #: Sweeps runnable via ``repro sweep <name>``; each maps to a driver
@@ -223,6 +225,17 @@ def _cmd_sweep(args) -> int:
     executor = SweepExecutor(
         jobs=args.jobs, seed=defaults.seed, cache=args.cache_dir
     )
+    server = None
+    if args.serve:
+        from repro.obs.server import MetricsServer
+
+        # Server chatter goes to stderr: sweep stdout stays canonical
+        # JSON so `--jobs 1` / `--jobs N` outputs byte-compare.
+        server = MetricsServer(
+            host=args.serve_host, port=args.serve_port
+        ).start()
+        print(f"serving merged sweep metrics at {server.url}",
+              file=sys.stderr)
     drivers = {
         "tradeoff": lambda: tradeoff_sweep(
             args.benchmark or "apache", defaults, executor=executor
@@ -254,6 +267,13 @@ def _cmd_sweep(args) -> int:
         f"retries={executor.retries}",
         file=sys.stderr,
     )
+    if server is not None:
+        from repro.obs.export import render_openmetrics
+
+        server.publish(render_openmetrics(executor.merged_registry()))
+        if args.serve_linger > 0:
+            _serve_linger(args.serve_linger, {"signal": None})
+        server.close()
     return 0
 
 
@@ -393,16 +413,37 @@ def _cmd_run(args) -> int:
     from repro.resilience.snapshot import snapshot_system
     from repro.sim.stats import report_digest
 
-    system, defaults = _observed_resilient_system(args)
+    system, defaults = _observed_resilient_system(args, profile=args.serve)
+    server = publisher = None
+    if args.serve:
+        from repro.obs.server import MetricsServer, ServePublisher
+
+        obs = system.observability
+        server = MetricsServer(
+            host=args.serve_host, port=args.serve_port
+        ).start()
+        publisher = ServePublisher(obs, server,
+                                   interval=args.publish_interval)
+        obs.attach_publisher(publisher)
+        publisher.publish(system.current_cycle)
+        print(f"serving metrics at {server.url} "
+              "(/metrics /healthz /monitor)")
     cycles = args.cycles or defaults.cycles
     try:
         report = system.run(cycles, stop_when_done=False, engine=args.engine)
     except Exception as error:
+        if server is not None:
+            server.close()
         print(f"run aborted: {type(error).__name__}: {error}")
         dump_path = getattr(error, "dump_path", "")
         if dump_path:
             print(f"diagnostic dump written to {dump_path}")
         return 1
+    if publisher is not None:
+        publisher.publish(system.current_cycle)
+        if args.serve_linger > 0:
+            _serve_linger(args.serve_linger, {"signal": None})
+        server.close()
     res = system.resilience
     if res is not None and res.checkpoints_taken:
         print(f"checkpoints: {res.checkpoints_taken} taken, "
@@ -415,8 +456,13 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _observed_resilient_system(args):
-    """The ``_observed_system`` mix plus the resilience layer."""
+def _observed_resilient_system(args, profile: bool = False):
+    """The ``_observed_system`` mix plus the resilience layer.
+
+    ``profile=True`` (the serving paths) also turns on the engine
+    self-profiler and the interval sampler so the `/metrics` endpoint
+    exposes profiler and probe-derived gauge families.
+    """
     from repro.resilience import ResilienceConfig
     from repro.workloads import make_trace
 
@@ -425,6 +471,8 @@ def _observed_resilient_system(args):
     builder = SystemBuilder(seed=defaults.seed)
     builder.with_observability(ObservabilityConfig(
         trace=True, trace_limit=args.limit, monitor=True,
+        profile=profile,
+        sample_interval=1024 if profile else None,
     ))
     builder.with_resilience(ResilienceConfig(
         checkpoint_every=args.checkpoint_every,
@@ -495,6 +543,163 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _serve_linger(seconds: float, stop) -> None:
+    """Hold the metrics endpoint open for late scrapes.
+
+    Wakes promptly when a drain signal flips ``stop["signal"]``.  The
+    pause is purely operational (a scrape window) and never observable
+    in any deterministic output, so the wall-clock use is quarantined
+    here.
+    """
+    import time as time_module
+
+    remaining = float(seconds)
+    while remaining > 0 and stop["signal"] is None:
+        # repro-lint: disable-next-line=RL001
+        time_module.sleep(min(0.2, remaining))
+        remaining -= 0.2
+
+
+def _cmd_serve(args) -> int:
+    import json as json_module
+    import signal
+
+    from repro.obs.server import MetricsServer, ServePublisher
+    from repro.sim.stats import report_digest
+
+    system, defaults = _observed_resilient_system(args, profile=True)
+    obs = system.observability
+    server = MetricsServer(host=args.host, port=args.port).start()
+    publisher = ServePublisher(obs, server, interval=args.publish_interval)
+    obs.attach_publisher(publisher)
+    publisher.publish(system.current_cycle)
+
+    stop = {"signal": None}
+
+    def _on_signal(signum, _frame):
+        stop["signal"] = signum
+
+    # Signal handlers can only be installed from the main thread; when
+    # embedded (tests drive main() from a worker thread) serve still
+    # works, it just cannot drain on SIGTERM.
+    import threading
+
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        previous = {
+            signum: signal.signal(signum, _on_signal)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+    print(f"serving metrics at {server.url} "
+          "(/metrics /healthz /monitor); SIGTERM drains")
+    try:
+        cycles = args.cycles or defaults.cycles
+        target = system.current_cycle + cycles
+        # Run in publish-interval chunks so a drain signal is honoured
+        # at the next chunk boundary, not only at the end of the run.
+        while system.current_cycle < target and stop["signal"] is None:
+            step = min(args.publish_interval, target - system.current_cycle)
+            system.run(step, stop_when_done=False, engine=args.engine)
+        publisher.publish(system.current_cycle)
+        report = system.report()
+        print(f"stopped at cycle {system.current_cycle}")
+        print(f"report digest: {report_digest(report)}")
+        if args.profile_out:
+            rollup = obs.profiler.rollup(include_wall=True,
+                                         monitor=obs.monitor)
+            with open(args.profile_out, "w", encoding="utf-8") as fh:
+                json_module.dump(rollup, fh, indent=2, sort_keys=True)
+            print(f"profiler rollup written to {args.profile_out}")
+        if stop["signal"] is None and args.linger > 0:
+            _serve_linger(args.linger, stop)
+        if stop["signal"] is not None:
+            server.mark_draining()
+            res = system.resilience
+            if res is not None:
+                path = res.take_checkpoint(system)
+                print(f"drain checkpoint written to {path}")
+            publisher.publish(system.current_cycle, status="draining")
+            print(f"drained on signal {stop['signal']} at cycle "
+                  f"{system.current_cycle}")
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.close()
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json as json_module
+
+    from repro.sim.stats import report_digest
+
+    system, defaults = _observed_system(args, ObservabilityConfig(
+        monitor=True,
+        sample_interval=1024,
+        profile=True,
+    ))
+    cycles = args.cycles or defaults.cycles
+    report = system.run(cycles, stop_when_done=False, engine=args.engine)
+    obs = system.observability
+    rollup = obs.profiler.rollup(include_wall=True, monitor=obs.monitor)
+    counts = rollup["cycles"]
+    stepped_pct = (
+        100.0 * counts["stepped"] / counts["simulated"]
+        if counts["simulated"] else 0.0
+    )
+    print(f"engine: {args.engine}")
+    print(f"cycles: simulated={counts['simulated']} "
+          f"stepped={counts['stepped']} ({stepped_pct:.1f}%) "
+          f"skipped={counts['skipped']} "
+          f"in {rollup['skip_spans']['total']} idle spans")
+    if rollup["stations"]:
+        print("\nper-station work:")
+        print(format_table(
+            ["station", "ticks", "skips", "share"],
+            [[row["station"], row["ticks"], row["skips"],
+              f"{100.0 * row['share']:.1f}%"]
+             for row in rollup["stations"]],
+        ))
+        col = rollup["columnar"]
+        print(f"horizon refreshes: {col['horizon_refreshes']}  "
+              f"dirty re-polls: {col['dirty_repolls']}  "
+              f"full-tick fallbacks: {col['full_tick_fallbacks']}")
+    shaping = rollup.get("shaping")
+    if shaping is not None:
+        print(f"shaping: checkpoints={shaping['checkpoints']} "
+              f"violations={shaping['violations']} "
+              f"degradations={shaping['degradations']}")
+    print(f"wall: {rollup['wall']['ms']} ms (observability-only; never "
+          "enters the registry, reports or digests)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json_module.dump(rollup, fh, indent=2, sort_keys=True)
+        print(f"profiler rollup written to {args.out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(obs.render_exposition(at_cycle=system.current_cycle))
+        print(f"OpenMetrics exposition written to {args.metrics_out}")
+    print(f"report digest: {report_digest(report)}")
+    return 0
+
+
+def _add_serve_args(p) -> None:
+    """`--serve` companion flags shared by `repro run` and `repro sweep`."""
+    p.add_argument("--serve", action="store_true",
+                   help="expose /metrics, /healthz and /monitor while "
+                        "the command runs")
+    p.add_argument("--serve-host", default="127.0.0.1",
+                   help="bind address for --serve")
+    p.add_argument("--serve-port", type=int, default=0,
+                   help="bind port for --serve (0 = ephemeral)")
+    p.add_argument("--publish-interval", type=int, default=4096,
+                   metavar="CYCLES",
+                   help="simulated cycles between registry snapshots")
+    p.add_argument("--serve-linger", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="keep serving after the command finishes")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -544,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = inline, the reference)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="content-addressed result cache directory")
+    _add_serve_args(p)
 
     p = sub.add_parser("cache", help=_EXPERIMENTS["cache"])
     p.add_argument("verb", choices=("ls", "prune", "clear"))
@@ -603,6 +809,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a final snapshot when the run finishes")
     p.add_argument("--limit", type=int, default=65536,
                    help="event ring capacity")
+    _add_serve_args(p)
+
+    p = sub.add_parser("serve", help=_EXPERIMENTS["serve"])
+    p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
+    p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
+    p.add_argument("--engine", default="cycle",
+                   choices=("cycle", "next_event", "columnar"))
+    p.add_argument("--cycles", type=int, default=0,
+                   help="run length (default: the experiment default)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for the metrics endpoint")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (0 = ephemeral, printed at startup)")
+    p.add_argument("--publish-interval", type=int, default=4096,
+                   metavar="CYCLES",
+                   help="simulated cycles between registry snapshots")
+    p.add_argument("--linger", type=float, default=0.0, metavar="SECONDS",
+                   help="keep serving after the run finishes")
+    p.add_argument("--profile-out", default=None, metavar="PATH",
+                   help="write the profiler rollup JSON when done")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="snapshot the whole system every N cycles")
+    p.add_argument("--checkpoint-dir", default="checkpoints",
+                   help="directory for drain/periodic snapshots")
+    p.add_argument("--checkpoint-keep", type=int, default=3,
+                   help="most-recent snapshots to retain")
+    p.add_argument("--watchdog", type=int, default=None, metavar="CYCLES",
+                   help="stall budget before aborting (0 disables)")
+    p.add_argument("--watchdog-dump", default=None, metavar="PATH",
+                   help="JSON diagnostic dump path on watchdog trip")
+    p.add_argument("--limit", type=int, default=65536,
+                   help="event ring capacity")
+
+    p = sub.add_parser("profile", help=_EXPERIMENTS["profile"])
+    p.add_argument("--benchmark", default="gcc", choices=BENCHMARK_NAMES)
+    p.add_argument("--corunner", default="mcf", choices=BENCHMARK_NAMES)
+    p.add_argument("--engine", default="columnar",
+                   choices=("cycle", "next_event", "columnar"))
+    p.add_argument("--cycles", type=int, default=0,
+                   help="run length (default: the experiment default)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the flame-style rollup JSON here")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="also write the OpenMetrics exposition here")
 
     p = sub.add_parser("resume", help=_EXPERIMENTS["resume"])
     p.add_argument("snapshot", help="snapshot file written by 'repro run'")
@@ -681,6 +931,8 @@ _HANDLERS = {
     "faults": _cmd_faults,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "profile": _cmd_profile,
 }
 
 

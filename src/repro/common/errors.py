@@ -20,6 +20,22 @@ class ConfigurationError(ReproError):
     """
 
 
+class MetricNameError(ConfigurationError):
+    """A metric or probe name is invalid for Prometheus exposition.
+
+    Raised at *registration* time (``MetricsRegistry.counter/gauge/
+    histogram``, ``IntervalSampler.add_probe``) rather than at render
+    time, so a name the OpenMetrics exporter could never emit —
+    a leading digit, a ``-``, whitespace — fails the experiment
+    immediately instead of producing a malformed ``/metrics`` family
+    hours into a run.  ``name`` carries the offending string.
+    """
+
+    def __init__(self, message: str, name: str = "") -> None:
+        super().__init__(message)
+        self.name = name
+
+
 class TraceFormatError(ConfigurationError):
     """A trace input (file, stream or record list) is malformed.
 

@@ -23,6 +23,7 @@ from repro.common.errors import ConfigurationError
 from repro.obs.events import ALL_CATEGORIES
 from repro.obs.metrics import IntervalSampler, MetricsRegistry
 from repro.obs.monitor import ShapingMonitor
+from repro.obs.profile import EngineProfiler
 from repro.obs.tracer import NULL_TRACER, EventTracer
 
 
@@ -37,7 +38,10 @@ class ObservabilityConfig:
     enables the live shaping monitor.  ``noc_grant_trace_limit``
     bounds the NoC channels' adversary-visible grant traces — the
     observability-owned successor of the deprecated
-    ``with_noc(trace_limit=...)`` knob.
+    ``with_noc(trace_limit=...)`` knob.  ``profile`` enables the
+    deterministic engine self-profiler (:mod:`repro.obs.profile`);
+    its counters live outside reports/digests, so turning it on never
+    perturbs results.
     """
 
     trace: bool = False
@@ -51,6 +55,7 @@ class ObservabilityConfig:
     monitor_min_events: int = 32
     monitor_mi_window: int = 4096
     noc_grant_trace_limit: Optional[int] = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_limit <= 0:
@@ -102,11 +107,28 @@ class Observability:
             if self.config.monitor
             else None
         )
+        if self.monitor is not None:
+            self.monitor.bind_metrics(self.metrics)
+        self.profiler: Optional[EngineProfiler] = (
+            EngineProfiler() if self.config.profile else None
+        )
+        # The serve publisher (repro.obs.server.ServePublisher) is
+        # attached at run time, holds thread/socket handles, and is
+        # excluded from pickling — see __getstate__.
+        self.publisher = None
 
     @property
     def has_cycle_hooks(self) -> bool:
         """Does the run loop need to call the per-tick hooks at all?"""
-        return self.sampler is not None or self.monitor is not None
+        return (
+            self.sampler is not None
+            or self.monitor is not None
+            or self.publisher is not None
+        )
+
+    def attach_publisher(self, publisher) -> None:
+        """Install (or clear, with ``None``) the serve publisher."""
+        self.publisher = publisher
 
     # -- run-loop hooks (called by System) ---------------------------------
 
@@ -116,6 +138,8 @@ class Observability:
             self.sampler.advance(cycle)
         if self.monitor is not None:
             self.monitor.advance(cycle)
+        if self.publisher is not None:
+            self.publisher.advance(cycle)
 
     def on_skip(self, up_to_cycle: int) -> None:
         """A next-event skip is landing; fill boundaries ≤ ``up_to_cycle``."""
@@ -123,6 +147,94 @@ class Observability:
             self.sampler.fill(up_to_cycle)
         if self.monitor is not None:
             self.monitor.fill(up_to_cycle)
+        if self.publisher is not None:
+            self.publisher.fill(up_to_cycle)
+
+    # -- export (serve publisher / repro profile) ---------------------------
+
+    def refresh_derived_gauges(self, at_cycle: int) -> None:
+        """Materialise derived registry families before an export.
+
+        Probe values become same-named gauges (the live complement of
+        the sampler's time series), and the profiler's families are
+        re-exported.  Called only on the export paths — between cycles
+        from the publisher cadence, or once by ``repro profile`` — so
+        a system that never exports keeps its registry exactly as the
+        components wrote it.
+        """
+        self.metrics.gauge("obs.published_cycle").set(at_cycle)
+        if self.sampler is not None:
+            for name, fn in self.sampler.probes:
+                self.metrics.gauge(name).set(fn())
+        if self.profiler is not None:
+            self.profiler.export_to(self.metrics)
+
+    def render_exposition(self, at_cycle: int) -> str:
+        """Refresh derived gauges and render the OpenMetrics text."""
+        from repro.obs.export import render_openmetrics
+
+        self.refresh_derived_gauges(at_cycle)
+        return render_openmetrics(self.metrics)
+
+    def monitor_doc(self) -> Dict[str, Any]:
+        """Live shaping-monitor state for the ``/monitor`` endpoint."""
+        if self.monitor is None:
+            return {"enabled": False}
+        monitor = self.monitor
+        streams = []
+        for stream in monitor._streams:
+            sample = monitor.latest(stream.core_id, stream.direction)
+            if sample is None:
+                continue
+            streams.append({
+                "core_id": sample.core_id,
+                "direction": sample.direction,
+                "cycle": sample.cycle,
+                "events_observed": sample.events_observed,
+                "tvd_target": sample.tvd_target,
+                "tvd_intrinsic": sample.tvd_intrinsic,
+                "mi_bits": sample.mi_bits,
+            })
+        return {
+            "enabled": True,
+            "checkpoints": len(monitor.history),
+            "streams": streams,
+            "violations": [
+                {
+                    "cycle": v.cycle,
+                    "core_id": v.core_id,
+                    "direction": v.direction,
+                    "tvd_target": v.tvd_target,
+                    "threshold": v.threshold,
+                    "events_observed": v.events_observed,
+                }
+                for v in monitor.violations
+            ],
+            "degradations": [
+                {
+                    "cycle": d.cycle,
+                    "core_id": d.core_id,
+                    "direction": d.direction,
+                    "reason": d.reason,
+                    "detail": d.detail,
+                }
+                for d in monitor.degradations
+            ],
+        }
+
+    # -- pickling (snapshots) ------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Snapshots must restore on machines with no server running:
+        drop the publisher (thread/socket handles).  The profiler
+        persists via its own reduced ``__getstate__``."""
+        state = dict(self.__dict__)
+        state["publisher"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.publisher = None
 
     # -- reporting -----------------------------------------------------------
 

@@ -25,11 +25,38 @@ set wired by ``repro.sim.system`` respects this.
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, MetricNameError
 
 Number = Union[int, float]
+
+#: Registered names may use letters, digits, ``_``, ``:`` and ``.``
+#: (the repo's component namespacing separator) but must start with a
+#: letter or underscore.  This is the Prometheus metric-name charset
+#: plus ``.``, which the OpenMetrics exporter escapes to ``_`` at
+#: render time (``repro.obs.export``); everything else — ``-``,
+#: leading digits, whitespace — has no well-formed exposition and is
+#: rejected at registration.
+_METRIC_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.:]*\Z")
+
+
+def validate_metric_name(name: str) -> str:
+    """Return ``name`` if it can render as a Prometheus family.
+
+    Raises :class:`~repro.common.errors.MetricNameError` otherwise —
+    the typed registration-time guard that keeps the exporter from
+    ever emitting a malformed family.
+    """
+    if not isinstance(name, str) or not _METRIC_NAME_RE.fullmatch(name):
+        raise MetricNameError(
+            f"invalid metric name {name!r}: must match "
+            "[A-Za-z_][A-Za-z0-9_.:]* (no '-', no leading digit; '.' "
+            "is escaped to '_' in the OpenMetrics exposition)",
+            name=str(name),
+        )
+    return name
 
 
 class Counter:
@@ -92,6 +119,43 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    def accumulate(
+        self, counts: Sequence[int], total: int, value_sum: int
+    ) -> None:
+        """Add another histogram's buckets (same edges) into this one.
+
+        The merge primitive the registry serializer uses to fold shard
+        registries together (``repro.obs.export.merge_into``).
+        """
+        if len(counts) != len(self.counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r}: cannot accumulate "
+                f"{len(counts)} buckets into {len(self.counts)}"
+            )
+        for index, count in enumerate(counts):
+            self.counts[index] += count
+        self.total += total
+        self.sum += value_sum
+
+    def load(
+        self, counts: Sequence[int], total: int, value_sum: int
+    ) -> None:
+        """Replace this histogram's contents (idempotent exports).
+
+        Used by publishers that re-export an externally-maintained
+        histogram (e.g. the engine profiler's skip-span counts) on
+        every publish cadence: ``load`` sets absolute values where
+        :meth:`accumulate` would double-count.
+        """
+        if len(counts) != len(self.counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r}: cannot load {len(counts)} "
+                f"buckets into {len(self.counts)}"
+            )
+        self.counts = list(counts)
+        self.total = total
+        self.sum = value_sum
+
 
 class MetricsRegistry:
     """Flat, name-keyed registry of instruments.
@@ -105,6 +169,7 @@ class MetricsRegistry:
         self._instruments: Dict[str, object] = {}
 
     def _get(self, name: str, kind: type, factory: Callable[[], object]):
+        validate_metric_name(name)
         existing = self._instruments.get(name)
         if existing is not None:
             if not isinstance(existing, kind):
@@ -170,6 +235,7 @@ class IntervalSampler:
 
     def add_probe(self, name: str, fn: Callable[[], Number]) -> None:
         """Register a probe; ``fn`` must read only span-constant state."""
+        validate_metric_name(name)
         if any(existing == name for existing, _ in self._probes):
             raise ConfigurationError(f"duplicate probe name {name!r}")
         self._probes.append((name, fn))
@@ -177,6 +243,11 @@ class IntervalSampler:
     @property
     def probe_names(self) -> List[str]:
         return [name for name, _ in self._probes]
+
+    @property
+    def probes(self) -> List[Tuple[str, Callable[[], Number]]]:
+        """(name, fn) pairs in registration order (for gauge export)."""
+        return list(self._probes)
 
     @property
     def next_sample_cycle(self) -> int:

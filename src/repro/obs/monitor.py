@@ -133,8 +133,26 @@ class ShapingMonitor:
         self.history: List[MonitorSample] = []
         self.violations: List[ShapingViolation] = []
         self.degradations: List[DegradedMode] = []
+        self._metrics = None
 
     # -- wiring ------------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror monitor state into first-class registry gauges.
+
+        ``monitor.checkpoints`` / ``monitor.violations`` /
+        ``monitor.degradations`` plus per-stream
+        ``monitor.core{K}.{dir}.{tvd_target,tvd_intrinsic,mi_bits,
+        events}`` update at every checkpoint (and on each degradation
+        flag), so ``/metrics`` shows jitter-budget exhaustion and
+        guarantee breaches without parsing traces.  Checkpoint cycles
+        and values are engine-invariant, so binding never perturbs the
+        cross-engine equivalence of registry or snapshot state.
+        """
+        self._metrics = registry
+        registry.gauge("monitor.checkpoints").set(len(self.history))
+        registry.gauge("monitor.violations").set(len(self.violations))
+        registry.gauge("monitor.degradations").set(len(self.degradations))
 
     def watch(
         self,
@@ -181,6 +199,15 @@ class ShapingMonitor:
             self._check(self._next)
             self._next += self.interval
 
+    def _update_stream_gauges(self, sample: MonitorSample) -> None:
+        prefix = f"monitor.core{sample.core_id}.{sample.direction}"
+        metrics = self._metrics
+        if sample.tvd_target is not None:
+            metrics.gauge(f"{prefix}.tvd_target").set(sample.tvd_target)
+        metrics.gauge(f"{prefix}.tvd_intrinsic").set(sample.tvd_intrinsic)
+        metrics.gauge(f"{prefix}.mi_bits").set(sample.mi_bits)
+        metrics.gauge(f"{prefix}.events").set(sample.events_observed)
+
     def _check(self, stamp: int) -> None:
         for stream in self._streams:
             shaped = stream.shaped
@@ -193,17 +220,18 @@ class ShapingMonitor:
                     abs(a - b)
                     for a, b in zip(shaped.frequencies(), stream.target)
                 )
-            self.history.append(
-                MonitorSample(
-                    cycle=stamp,
-                    core_id=stream.core_id,
-                    direction=stream.direction,
-                    events_observed=observed,
-                    tvd_target=tvd_target,
-                    tvd_intrinsic=tvd_intrinsic,
-                    mi_bits=mi,
-                )
+            sample = MonitorSample(
+                cycle=stamp,
+                core_id=stream.core_id,
+                direction=stream.direction,
+                events_observed=observed,
+                tvd_target=tvd_target,
+                tvd_intrinsic=tvd_intrinsic,
+                mi_bits=mi,
             )
+            self.history.append(sample)
+            if self._metrics is not None:
+                self._update_stream_gauges(sample)
             if (
                 tvd_target is not None
                 and observed >= self.min_events
@@ -218,6 +246,10 @@ class ShapingMonitor:
                     events_observed=observed,
                 )
                 self.violations.append(violation)
+                if self._metrics is not None:
+                    self._metrics.gauge("monitor.violations").set(
+                        len(self.violations)
+                    )
                 if self.tracer.enabled:
                     self.tracer.emit(
                         stamp, CATEGORY_MONITOR, "monitor.violation",
@@ -227,6 +259,8 @@ class ShapingMonitor:
                         threshold=self.tvd_threshold,
                         events=observed,
                     )
+        if self._metrics is not None:
+            self._metrics.gauge("monitor.checkpoints").set(len(self.history))
 
     def flag_degraded(
         self,
@@ -247,6 +281,10 @@ class ShapingMonitor:
             detail=detail,
         )
         self.degradations.append(mode)
+        if self._metrics is not None:
+            self._metrics.gauge("monitor.degradations").set(
+                len(self.degradations)
+            )
         if self.tracer.enabled:
             self.tracer.emit(
                 cycle, CATEGORY_MONITOR, "monitor.degraded",

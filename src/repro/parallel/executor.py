@@ -279,6 +279,9 @@ class SweepExecutor:
         self.tasks_run = 0
         self.tasks_cached = 0
         self.retries = 0
+        # Serialized per-task registry documents, absorbed from task
+        # results in submission order — see merged_registry().
+        self._shard_registries: List[Dict[str, Any]] = []
 
     # -- events ------------------------------------------------------------
 
@@ -353,12 +356,61 @@ class SweepExecutor:
 
         for shard in to_run:
             if self.cache is not None and shard.digest is not None:
+                # The cached value keeps its obs_registry (absorption
+                # below works on a copy), so cache hits replay their
+                # shard registries exactly like fresh runs.
                 self.cache.put(
                     shard.digest,
                     cache_key(kind, self._key_doc(shard)),
                     results[shard.index],
                 )
-        return [results[shard.index] for shard in shards]
+        return [
+            self._absorb_registry(results[shard.index]) for shard in shards
+        ]
+
+    def _absorb_registry(self, result: Any) -> Any:
+        """Strip and collect a task result's ``obs_registry`` document.
+
+        Simulation tasks embed their worker-local registry snapshot
+        under this key (:mod:`repro.parallel.tasks`); it is executor
+        metadata, not sweep output, so it must not leak into result
+        consumers (``tradeoff_sweep`` passes task dicts verbatim into
+        the CLI's canonical JSON).  Collection order is submission
+        order — shards were just iterated in it — which makes
+        :meth:`merged_registry` independent of ``jobs``.
+        """
+        if isinstance(result, dict) and "obs_registry" in result:
+            self._shard_registries.append(result["obs_registry"])
+            result = {
+                key: value
+                for key, value in result.items()
+                if key != "obs_registry"
+            }
+        return result
+
+    def merged_registry(self):
+        """One cluster-level registry folded from every shard document.
+
+        Counters and histogram buckets add across shards, gauges take
+        the last write in submission order, and the executor's own
+        ``parallel.*`` progress gauges ride along — byte-identical
+        exposition for every ``jobs`` value (and for warm-cache
+        replays, since cached results keep their shard documents).
+        """
+        from repro.obs.export import merge_serialized
+
+        registry = merge_serialized(self._shard_registries)
+        # No worker-count or wall-time families here: the merged
+        # registry must render byte-identically for every ``jobs``
+        # value, so only jobs-invariant quantities may appear.
+        registry.gauge("parallel.tasks_submitted").set(self._tasks_submitted)
+        registry.gauge("parallel.tasks_run").set(self.tasks_run)
+        registry.gauge("parallel.tasks_cached").set(self.tasks_cached)
+        registry.gauge("parallel.retries").set(self.retries)
+        registry.gauge("parallel.shards_merged").set(
+            len(self._shard_registries)
+        )
+        return registry
 
     def _key_doc(self, shard: _Shard) -> Any:
         if shard.task_seed is None:

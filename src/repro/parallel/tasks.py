@@ -52,6 +52,52 @@ def _event_times(gaps: Sequence[int]) -> List[int]:
     return out
 
 
+#: Bucket edges (cycles) of the per-point run-length histogram in the
+#: shard registry documents.
+_POINT_CYCLE_EDGES = (
+    1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+)
+
+
+def _registry_doc(*reports) -> Dict[str, Any]:
+    """The worker's serialized registry snapshot for one task.
+
+    Every simulation task attaches this under ``"obs_registry"``; the
+    executor strips it from the visible result and folds it into the
+    cluster-level registry (``SweepExecutor.merged_registry``), so a
+    ``repro sweep --serve`` scrape aggregates all shards as one
+    system.  Only jobs-invariant, report-derived quantities appear —
+    the merged exposition must be byte-identical across ``--jobs``.
+    """
+    from repro.obs.export import serialize_registry
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    points = registry.counter("sweep.points")
+    cycles = registry.counter("sweep.cycles")
+    retired = registry.counter("sweep.retired_instructions")
+    demand = registry.counter("sweep.demand_requests")
+    fake = registry.counter("sweep.fake_requests")
+    row_hits = registry.counter("sweep.row_hits")
+    row_misses = registry.counter("sweep.row_misses")
+    point_cycles = registry.histogram(
+        "sweep.point_cycles", _POINT_CYCLE_EDGES
+    )
+    for report in reports:
+        points.inc()
+        cycles.inc(report.cycles_run)
+        row_hits.inc(report.row_hits)
+        row_misses.inc(report.row_misses)
+        point_cycles.record(report.cycles_run)
+        for core in report.cores:
+            retired.inc(core.retired_instructions)
+            demand.inc(core.demand_requests)
+            fake.inc(
+                core.fake_requests_sent + core.fake_responses_sent
+            )
+    return serialize_registry(registry)
+
+
 def make_run_payload(benchmark: str, defaults, spec=None) -> Dict[str, Any]:
     """The shared payload core: benchmark + run geometry + spec."""
     spec = spec if spec is not None else defaults.spec
@@ -92,6 +138,7 @@ def alone_base_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "cycles_run": report.cycles_run,
         "gaps": list(stats.request_intrinsic.gaps),
         "digest": report_digest(report),
+        "obs_registry": _registry_doc(report),
     }
 
 
@@ -105,7 +152,11 @@ def alone_ipc_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         payload["benchmark"], defaults,
         core_slot=int(payload.get("core_slot", 0)),
     )
-    return {"ipc": report.core(0).ipc, "digest": report_digest(report)}
+    return {
+        "ipc": report.core(0).ipc,
+        "digest": report_digest(report),
+        "obs_registry": _registry_doc(report),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +199,7 @@ def tradeoff_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "ipc": stats.ipc,
         "mi": mi,
         "digest": report_digest(report),
+        "obs_registry": _registry_doc(report),
     }
 
 
@@ -199,6 +251,7 @@ def mix_slowdown_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "ipcs": ipcs,
         "slowdown": _avg_slowdown(ipcs, list(payload["alone_ipcs"])),
         "digest": report_digest(report),
+        "obs_registry": _registry_doc(report),
     }
     slip = getattr(system.scheduler, "slip_fraction", None)
     if callable(slip):
@@ -223,6 +276,7 @@ def noc_latency_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "mean_latency": report.core(0).mean_memory_latency(),
         "digest": report_digest(report),
+        "obs_registry": _registry_doc(report),
     }
 
 
@@ -288,6 +342,7 @@ def mesh_position_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         ),
         "digest_a": report_digest(world_a),
         "digest_b": report_digest(world_b),
+        "obs_registry": _registry_doc(world_a, world_b),
     }
 
 
@@ -349,6 +404,7 @@ def ga_fitness_task(
         "slowdown": slowdown,
         "mi": mi,
         "digest": report_digest(report),
+        "obs_registry": _registry_doc(report),
     }
 
 

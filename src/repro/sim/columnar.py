@@ -188,6 +188,22 @@ class ColumnarEngine:
             self._kernels.jit_active or size >= _VECTOR_MIN_CUTOFF
         )
 
+        # Engine self-profiler (repro.obs.profile).  ``None`` keeps
+        # every instrumentation site behind a single falsy local check
+        # so the disabled path stays at branch cost.
+        obs = system.observability
+        self._prof = obs.profiler if obs is not None else None
+        names = (
+            [f"core{i}" for i in range(n)]
+            + [f"req_path{i}" for i in range(n)]
+            + ["req_link", "memctrl"]
+            + [f"resp_path{i}" for i in range(n)]
+            + ["resp_link"]
+        )
+        if self._inj is not None:
+            names.append("injector")
+        self._station_names = names
+
     # -- ledger maintenance ---------------------------------------------
 
     def _refresh_horizons(self, cycle: int) -> None:
@@ -196,6 +212,19 @@ class ColumnarEngine:
         col = self._col
         dirty = self._dirty
         poll = self._next_event
+        prof = self._prof
+        if prof is not None:
+            repolled = 0
+            for i in range(self._size):
+                if dirty[i]:
+                    event = poll[i](cycle)
+                    value = NO_EVENT if event is None else event
+                    h[i] = value
+                    col[i] = value
+                    dirty[i] = False
+                    repolled += 1
+            prof.record_horizon_refresh(repolled)
+            return
         for i in range(self._size):
             if dirty[i]:
                 event = poll[i](cycle)
@@ -227,11 +256,16 @@ class ColumnarEngine:
         h = self._h
         dirty = self._dirty
         n = self._n
+        prof = self._prof
+        names = self._station_names
 
         if self._inj is not None and h[self._inj] <= cycle:
             # The injector may mutate arbitrary stations this cycle
             # (bursts into shapers, staging floods, link stalls); run
             # the canonical full tick and re-poll everything.
+            if prof is not None:
+                prof.record_full_tick_fallback()
+                prof.record_station("injector", ticks=1)
             sys_.tick()
             self._mark_all_dirty()
             done = self._done
@@ -254,6 +288,8 @@ class ColumnarEngine:
             if h[i] <= cycle:
                 self._core_tick[i](cycle)
                 dirty[i] = True
+                if prof is not None:
+                    prof.record_station(names[i], ticks=1)
                 if stations[i].done:
                     done[i] = True
                     self._undone -= 1
@@ -262,6 +298,8 @@ class ColumnarEngine:
                 # replay it in closed form (same contract the span
                 # skip uses, over a one-cycle span).
                 self._core_skip[i](cycle, cycle + 1)
+                if prof is not None:
+                    prof.record_station(names[i], skips=1)
 
         any_path_ran = False
         for i in range(n):
@@ -270,10 +308,14 @@ class ColumnarEngine:
                 self._path_tick[i](cycle)
                 dirty[j] = True
                 any_path_ran = True
+                if prof is not None:
+                    prof.record_station(names[j], ticks=1)
             else:
                 skip = self._path_skip[i]
                 if skip is not None:
                     skip(cycle, cycle + 1)
+                if prof is not None:
+                    prof.record_station(names[j], skips=1)
 
         controller = sys_.controller
         staging = sys_._mc_staging
@@ -285,8 +327,12 @@ class ColumnarEngine:
                 dest_ready=controller.can_accept() and not staging,
             )
             dirty[j] = True
+            if prof is not None:
+                prof.record_station("req_link", ticks=1)
             for txn in link.pop_arrivals(cycle):
                 staging.append(txn)
+        elif prof is not None:
+            prof.record_station("req_link", skips=1)
 
         fed_controller = False
         if staging and controller.can_accept():
@@ -296,6 +342,10 @@ class ColumnarEngine:
         if h[self._ctrl] <= cycle or fed_controller:
             controller.tick(cycle)
             dirty[self._ctrl] = True
+            if prof is not None:
+                prof.record_station("memctrl", ticks=1)
+        elif prof is not None:
+            prof.record_station("memctrl", skips=1)
 
         any_resp_ran = False
         for i in range(n):
@@ -318,12 +368,18 @@ class ColumnarEngine:
                 self._resp_tick[i](cycle)
                 dirty[j] = True
                 any_resp_ran = True
+                if prof is not None:
+                    prof.record_station(names[j], ticks=1)
+            elif prof is not None:
+                prof.record_station(names[j], skips=1)
 
         j = self._resplink
         if h[j] <= cycle or any_resp_ran:
             link = sys_.response_link
             link.tick(cycle)
             dirty[j] = True
+            if prof is not None:
+                prof.record_station("resp_link", ticks=1)
             for txn in link.pop_arrivals(cycle):
                 sys_._deliver(txn, cycle)
                 core_id = txn.core_id
@@ -331,6 +387,8 @@ class ColumnarEngine:
                 # its request path.
                 dirty[core_id] = True
                 dirty[self._req0 + core_id] = True
+        elif prof is not None:
+            prof.record_station("resp_link", skips=1)
 
         if sys_._obs_cycle_hooks:
             sys_.observability.on_cycle_end(cycle)
@@ -382,39 +440,56 @@ class ColumnarEngine:
             ),
         )
         watchdog.reset(sys_)
-        end = sys_.current_cycle + max_cycles
-        self._refresh_horizons(sys_.current_cycle)
-        while sys_.current_cycle < end:
-            if stop_when_done and not self._undone:
-                break
-            self._step()
-            if checkpoint_every and sys_.current_cycle % checkpoint_every == 0:
-                res.take_checkpoint(sys_)
+        obs = sys_.observability
+        if obs is not None and obs.publisher is not None:
+            # Serve mode only — see System.run: the stall margin is
+            # observe-cadence-dependent, hence engine-variant.
+            watchdog.bind_metrics(obs.metrics)
+        prof = self._prof
+        if prof is not None:
+            prof.begin_run("columnar", sys_.current_cycle)
+        try:
+            end = sys_.current_cycle + max_cycles
             self._refresh_horizons(sys_.current_cycle)
-            skipped = False
-            if sys_.current_cycle < end and not (
-                stop_when_done and not self._undone
-            ):
-                target = self._next_target(end)
-                if watchdog_cycles and target is not None:
-                    target = min(
-                        target, watchdog.horizon(sys_.current_cycle)
-                    )
-                if checkpoint_every and target is not None:
-                    target = min(
-                        target,
-                        res.next_checkpoint_boundary(sys_.current_cycle),
-                    )
-                if target is not None and target > sys_.current_cycle:
-                    sys_._skip_idle_span(target)
-                    skipped = True
-                    if (
-                        checkpoint_every
-                        and sys_.current_cycle % checkpoint_every == 0
-                    ):
-                        res.take_checkpoint(sys_)
-            if watchdog_cycles and (
-                skipped or (sys_.current_cycle & 0xFF) == 0
-            ):
-                watchdog.observe(sys_)
+            while sys_.current_cycle < end:
+                if stop_when_done and not self._undone:
+                    break
+                self._step()
+                if (
+                    checkpoint_every
+                    and sys_.current_cycle % checkpoint_every == 0
+                ):
+                    res.take_checkpoint(sys_)
+                self._refresh_horizons(sys_.current_cycle)
+                skipped = False
+                if sys_.current_cycle < end and not (
+                    stop_when_done and not self._undone
+                ):
+                    target = self._next_target(end)
+                    if watchdog_cycles and target is not None:
+                        target = min(
+                            target, watchdog.horizon(sys_.current_cycle)
+                        )
+                    if checkpoint_every and target is not None:
+                        target = min(
+                            target,
+                            res.next_checkpoint_boundary(sys_.current_cycle),
+                        )
+                    if target is not None and target > sys_.current_cycle:
+                        if prof is not None:
+                            prof.record_skip(target - sys_.current_cycle)
+                        sys_._skip_idle_span(target)
+                        skipped = True
+                        if (
+                            checkpoint_every
+                            and sys_.current_cycle % checkpoint_every == 0
+                        ):
+                            res.take_checkpoint(sys_)
+                if watchdog_cycles and (
+                    skipped or (sys_.current_cycle & 0xFF) == 0
+                ):
+                    watchdog.observe(sys_)
+        finally:
+            if prof is not None:
+                prof.end_run(sys_.current_cycle)
         return sys_.report()

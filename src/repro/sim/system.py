@@ -947,6 +947,11 @@ class System:
                 f"unknown engine {engine!r}: expected 'cycle', "
                 f"'next_event' or 'columnar'"
             )
+        obs = self.observability
+        # Re-derive the cached hook flag: a serve publisher can be
+        # attached between builds and runs (repro serve), after
+        # __init__ froze the original value.
+        self._obs_cycle_hooks = obs is not None and obs.has_cycle_hooks
         if engine == "columnar":
             # Local import: keeps System importable without numpy-using
             # engine code on the default paths.
@@ -976,49 +981,72 @@ class System:
             ),
         )
         watchdog.reset(self)
-        end = self.current_cycle + max_cycles
-        ne_components = self._next_event_components() if fast else None
-        while self.current_cycle < end:
-            if stop_when_done and self.all_cores_done():
-                break
-            self.tick()
-            if checkpoint_every and self.current_cycle % checkpoint_every == 0:
-                res.take_checkpoint(self)
-            skipped = False
-            if (
-                fast
-                and self.current_cycle < end
-                and not (stop_when_done and self.all_cores_done())
-            ):
-                target = self._next_event_target(end, ne_components)
-                if watchdog_cycles and target is not None:
-                    # Never jump past the watchdog horizon in one step:
-                    # a frozen (deadlocked) system must still trip the
-                    # progress check, exactly as the per-cycle loop
-                    # would while spinning through the same span.
-                    target = min(target, watchdog.horizon(self.current_cycle))
-                if checkpoint_every and target is not None:
-                    # Land every clock jump exactly on checkpoint
-                    # boundaries — behaviour-preserving by the engine's
-                    # no-state-change guarantee, like the horizon cap.
-                    target = min(
-                        target,
-                        res.next_checkpoint_boundary(self.current_cycle),
-                    )
-                if target is not None and target > self.current_cycle:
-                    self._skip_idle_span(target)
-                    skipped = True
-                    if (
-                        checkpoint_every
-                        and self.current_cycle % checkpoint_every == 0
-                    ):
-                        res.take_checkpoint(self)
-            # Check progress only every 256 cycles to keep the hot
-            # loop cheap (the watchdog granularity does not matter),
-            # plus after every skip, whose span is progress-free by
-            # construction.
-            if watchdog_cycles and (skipped or (self.current_cycle & 0xFF) == 0):
-                watchdog.observe(self)
+        if obs is not None and obs.publisher is not None:
+            # Serve mode only: the stall margin depends on the observe
+            # cadence, which differs between engines — keep it out of
+            # the registry on the deterministic cross-engine paths.
+            watchdog.bind_metrics(obs.metrics)
+        prof = obs.profiler if obs is not None else None
+        if prof is not None:
+            prof.begin_run(engine, self.current_cycle)
+        try:
+            end = self.current_cycle + max_cycles
+            ne_components = self._next_event_components() if fast else None
+            while self.current_cycle < end:
+                if stop_when_done and self.all_cores_done():
+                    break
+                self.tick()
+                if (
+                    checkpoint_every
+                    and self.current_cycle % checkpoint_every == 0
+                ):
+                    res.take_checkpoint(self)
+                skipped = False
+                if (
+                    fast
+                    and self.current_cycle < end
+                    and not (stop_when_done and self.all_cores_done())
+                ):
+                    target = self._next_event_target(end, ne_components)
+                    if watchdog_cycles and target is not None:
+                        # Never jump past the watchdog horizon in one
+                        # step: a frozen (deadlocked) system must still
+                        # trip the progress check, exactly as the
+                        # per-cycle loop would while spinning through
+                        # the same span.
+                        target = min(
+                            target, watchdog.horizon(self.current_cycle)
+                        )
+                    if checkpoint_every and target is not None:
+                        # Land every clock jump exactly on checkpoint
+                        # boundaries — behaviour-preserving by the
+                        # engine's no-state-change guarantee, like the
+                        # horizon cap.
+                        target = min(
+                            target,
+                            res.next_checkpoint_boundary(self.current_cycle),
+                        )
+                    if target is not None and target > self.current_cycle:
+                        if prof is not None:
+                            prof.record_skip(target - self.current_cycle)
+                        self._skip_idle_span(target)
+                        skipped = True
+                        if (
+                            checkpoint_every
+                            and self.current_cycle % checkpoint_every == 0
+                        ):
+                            res.take_checkpoint(self)
+                # Check progress only every 256 cycles to keep the hot
+                # loop cheap (the watchdog granularity does not
+                # matter), plus after every skip, whose span is
+                # progress-free by construction.
+                if watchdog_cycles and (
+                    skipped or (self.current_cycle & 0xFF) == 0
+                ):
+                    watchdog.observe(self)
+        finally:
+            if prof is not None:
+                prof.end_run(self.current_cycle)
         return self.report()
 
     # -- reporting ------------------------------------------------------------------

@@ -213,3 +213,113 @@ class TestResilienceCommands:
         out = capsys.readouterr().out
         assert '"error": "WatchdogError"' in out
         assert dump.exists()
+
+
+class TestObservabilityCommands:
+    def _digest(self, out):
+        lines = [
+            line for line in out.splitlines()
+            if line.startswith("report digest:")
+        ]
+        assert len(lines) == 1
+        return lines[0]
+
+    def test_profile_columnar_rollup(self, capsys, tmp_path):
+        rollup = tmp_path / "rollup.json"
+        metrics = tmp_path / "metrics.txt"
+        assert main([
+            "--scale", "0.1", "profile", "--engine", "columnar",
+            "--out", str(rollup), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-station work:" in out
+        assert "memctrl" in out
+        self._digest(out)
+
+        import json
+
+        doc = json.loads(rollup.read_text())
+        cycles = doc["cycles"]
+        assert cycles["stepped"] + cycles["skipped"] == cycles["simulated"]
+        assert doc["engines"] == {"columnar": 1}
+        assert doc["stations"]
+        assert "wall" in doc  # the artifact carries the wall total...
+        text = metrics.read_text()
+        assert "profiler_cycles_simulated_total" in text
+        assert "wall" not in text  # ...the registry never does
+        assert text.endswith("# EOF\n")
+
+    def test_profile_digest_engine_invariant(self, capsys):
+        digests = {}
+        for engine in ("cycle", "next_event", "columnar"):
+            assert main([
+                "--scale", "0.1", "profile", "--engine", engine,
+            ]) == 0
+            digests[engine] = self._digest(capsys.readouterr().out)
+        assert len(set(digests.values())) == 1
+
+    def test_run_serve_digest_matches_plain_run(self, capsys):
+        assert main(["--scale", "0.1", "run"]) == 0
+        plain = self._digest(capsys.readouterr().out)
+        assert main(["--scale", "0.1", "run", "--serve"]) == 0
+        out = capsys.readouterr().out
+        assert "serving metrics at http://127.0.0.1:" in out
+        assert self._digest(out) == plain
+
+    def test_serve_live_scrape(self, capsys):
+        """Drive `repro serve` from a worker thread and scrape the
+        endpoints while it lingers — the CI smoke job, in-process."""
+        import json
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        rc = []
+        thread = threading.Thread(target=lambda: rc.append(main([
+            "--scale", "0.1", "serve", "--port", str(port),
+            "--publish-interval", "1024", "--linger", "6",
+        ])))
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+
+        def scrape(route):
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                        base + route, timeout=2
+                    ) as response:
+                        return response.read().decode("utf-8")
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.1)
+
+        try:
+            # The server answers "starting" between start() and the
+            # first publish; wait for the run to finish so /metrics
+            # holds final state.
+            deadline = time.monotonic() + 60
+            while True:
+                health = json.loads(scrape("/healthz"))
+                if health["status"] == "ok" and health["cycle"] >= 4000:
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.1)
+            text = scrape("/metrics")
+            assert "profiler_cycles_simulated_total 4000" in text
+            assert "monitor_checkpoints" in text
+            assert "core0_request_credits" in text
+            assert text.endswith("# EOF\n")
+            monitor = json.loads(scrape("/monitor"))
+            assert monitor["enabled"] is True
+            assert monitor["streams"]
+        finally:
+            thread.join(timeout=60)
+        assert rc == [0]
+        out = capsys.readouterr().out
+        assert "stopped at cycle 4000" in out

@@ -195,6 +195,71 @@ class TestRL007:
         assert ids_of(findings) == ["RL007"]
 
 
+PROFILED_SHAPER = """
+    class EngineProfiler:
+        def __init__(self):
+            self.station_ticks = {}
+            self.station_skips = {}
+
+        def record_station(self, station, ticks=0, skips=0):
+            if ticks:
+                self.station_ticks[station] = (
+                    self.station_ticks.get(station, 0) + ticks
+                )
+            if skips:
+                self.station_skips[station] = (
+                    self.station_skips.get(station, 0) + skips
+                )
+
+    class Shaper:
+        def __init__(self, profiler):
+            self._buffer = []
+            self._prof = profiler
+
+        def tick(self, cycle):
+            if self._prof is not None:
+                self._prof.record_station("shaper", ticks=1)
+            return cycle + 1
+
+        def next_event_cycle(self, cycle):
+            if self._prof is not None:
+                self._prof.record_station("shaper", skips=1)
+            return cycle + 1
+    """
+
+
+class TestRL007ProfilerTaps:
+    """The engine self-profiler's station taps sit inside shaper hot
+    paths (``tick``/``next_event_cycle``); they record *that* work
+    happened, never how much demand is queued, so the flow checker must
+    stay quiet — and must still fire if a tap starts forwarding
+    demand-derived state into a timing decision."""
+
+    def test_constant_taps_in_hot_paths_are_clean(self):
+        assert findings_for(PROFILED_SHAPER, select=["RL007"]) == []
+
+    def test_tap_laundering_occupancy_into_timing_is_flagged(self):
+        findings = findings_for(
+            """
+            class Shaper:
+                def __init__(self, profiler):
+                    self._buffer = []
+                    self._prof = profiler
+
+                def _tap(self):
+                    depth = len(self._buffer)
+                    self._prof.record_station("shaper", ticks=depth)
+                    return depth
+
+                def next_event_cycle(self, cycle):
+                    return cycle + self._tap()
+            """,
+            select=["RL007"],
+        )
+        assert ids_of(findings) == ["RL007"]
+        assert any("_tap" in step.note for step in findings[0].flow)
+
+
 # -- RL008 dirty-mark completeness -----------------------------------------
 
 

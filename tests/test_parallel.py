@@ -263,6 +263,47 @@ class TestJobsDifferential:
         assert rows_1 == rows_4
 
 
+class TestRegistryMerge:
+    """ISSUE-8 acceptance: the merged shard registries of a jobs=1 and
+    a jobs=4 sweep render byte-identical OpenMetrics expositions."""
+
+    def _payloads(self):
+        payloads = []
+        for latency in (1, 4):
+            payload = make_run_payload("gcc", FAST)
+            payload["noc_latency"] = latency
+            payloads.append(payload)
+        return payloads
+
+    def test_merged_exposition_jobs_invariant(self):
+        from repro.obs.export import render_openmetrics
+
+        texts = {}
+        for jobs in (1, 4):
+            executor = SweepExecutor(jobs=jobs)
+            rows = executor.map(noc_latency_task, self._payloads())
+            # The registry doc is absorbed by the executor, never
+            # returned to the driver (sweep JSON stays clean).
+            assert all("obs_registry" not in row for row in rows)
+            texts[jobs] = render_openmetrics(executor.merged_registry())
+        assert texts[1] == texts[4]
+        assert "sweep_points_total 2" in texts[1]
+        assert "parallel_shards_merged 2" in texts[1]
+        assert "sweep_point_cycles_bucket" in texts[1]
+        # Worker count must not leak into the merged registry.
+        assert "parallel_jobs" not in texts[1]
+
+    def test_cached_replay_merges_identically(self, tmp_path):
+        from repro.obs.export import render_openmetrics
+
+        texts = []
+        for _ in range(2):
+            executor = SweepExecutor(jobs=1, cache=str(tmp_path))
+            executor.map(noc_latency_task, self._payloads())
+            texts.append(render_openmetrics(executor.merged_registry()))
+        assert texts[0] == texts[1]
+
+
 class TestCacheHits:
     def test_second_sweep_runs_zero_simulations(self, tmp_path):
         """Warm-cache replay: identical output, zero task executions,
