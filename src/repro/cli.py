@@ -54,6 +54,7 @@ _EXPERIMENTS = {
     "resume": "restore a checkpoint and continue the run bit-identically",
     "faults": "run a fault-injection scenario (repro.resilience harness)",
     "sweep": "run a parameter sweep across worker processes (--jobs)",
+    "dispatch": "run a sweep worker host / inspect a dispatch ledger",
     "cache": "inspect/prune/clear the sweep result cache",
     "serve": "serve live /metrics, /healthz and /monitor during a run",
     "profile": "engine self-profile: per-station work and skip-span rollup",
@@ -222,8 +223,20 @@ def _cmd_sweep(args) -> int:
     from repro.parallel import SweepExecutor
 
     defaults = _defaults(args)
+    dispatch = None
+    if args.hosts:
+        from repro.parallel.dispatch import DispatchCoordinator
+
+        dispatch = DispatchCoordinator(
+            args.hosts,
+            lease_seconds=args.lease_seconds,
+            ledger=args.ledger,
+        )
+    elif args.ledger:
+        raise SystemExit("--ledger requires --hosts")
     executor = SweepExecutor(
-        jobs=args.jobs, seed=defaults.seed, cache=args.cache_dir
+        jobs=args.jobs, seed=defaults.seed, cache=args.cache_dir,
+        dispatch=dispatch,
     )
     server = None
     if args.serve:
@@ -267,6 +280,36 @@ def _cmd_sweep(args) -> int:
         f"retries={executor.retries}",
         file=sys.stderr,
     )
+    if dispatch is not None:
+        counters = dispatch.registry.as_dict()
+        print(
+            "dispatch: "
+            f"hosts={int(counters['dispatch.hosts_configured'])} "
+            f"completed={int(counters['dispatch.shards_completed'])} "
+            f"cached={int(counters['dispatch.cached_shards'])} "
+            f"redispatched={int(counters['dispatch.redispatches'])} "
+            f"degraded={str(dispatch.degraded).lower()}",
+            file=sys.stderr,
+        )
+        dispatch.close()
+    if args.metrics_out:
+        from repro.obs.export import render_openmetrics
+
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(render_openmetrics(executor.merged_registry()))
+        print(f"merged exposition written to {args.metrics_out}",
+              file=sys.stderr)
+    if args.dispatch_log:
+        from repro.obs import diag
+        from repro.obs.events import CATEGORY_DISPATCH
+
+        with open(args.dispatch_log, "w", encoding="utf-8") as fh:
+            for event in diag.recent(category=CATEGORY_DISPATCH):
+                fh.write(json_module.dumps(
+                    event.as_jsonl_obj(), sort_keys=True
+                ) + "\n")
+        print(f"dispatch event log written to {args.dispatch_log}",
+              file=sys.stderr)
     if server is not None:
         from repro.obs.export import render_openmetrics
 
@@ -299,6 +342,76 @@ def _cmd_cache(args) -> int:
     print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
           f"from {args.cache_dir}")
     return 0
+
+
+def _cmd_dispatch(args) -> int:
+    if args.verb == "worker":
+        import signal
+
+        from repro.parallel.worker import WorkerHost
+
+        worker = WorkerHost(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            task_modules=tuple(
+                m.strip() for m in args.task_modules.split(",") if m.strip()
+            ),
+            heartbeat_seconds=args.heartbeat,
+            inline=args.inline,
+        )
+        bound_host, bound_port = worker.bind()
+        # The parseable line the coordinator-launching side waits for.
+        print(f"dispatch worker listening on {bound_host}:{bound_port}",
+              flush=True)
+
+        def _drain(signum, _frame):
+            print(f"dispatch worker draining on signal {signum}",
+                  flush=True)
+            worker.close()
+
+        signal.signal(signal.SIGTERM, _drain)
+        try:
+            worker.serve_forever()
+        except KeyboardInterrupt:
+            worker.close()
+        print(
+            f"dispatch worker stopped "
+            f"(served={worker.shards_served} failed={worker.shards_failed})"
+        )
+        return 0
+
+    # status: render a persisted ledger.
+    from repro.parallel.ledger import DispatchLedger
+
+    ledger = DispatchLedger.load(args.ledger)
+    doc = ledger.doc
+    counts = ledger.counts()
+    total = doc.get("shard_count", sum(counts.values()))
+    print(f"sweep:    {doc.get('kind', '') or '(unknown)'}")
+    print(f"hosts:    {', '.join(doc.get('hosts', [])) or '(none)'}")
+    print(f"shards:   {total}")
+    print(f"degraded: {str(bool(doc.get('degraded'))).lower()}")
+    print(format_table(
+        ["state", "shards"],
+        [[state, counts[state]] for state in sorted(counts)
+         if counts[state] or state in ("completed", "queued")],
+    ))
+    rows = [
+        [index, entry.get("state", ""), entry.get("label", ""),
+         entry.get("host", ""), entry.get("attempts", "")]
+        for index, entry in sorted(
+            doc.get("shards", {}).items(), key=lambda kv: int(kv[0])
+        )
+    ]
+    if rows:
+        print(format_table(
+            ["shard", "state", "label", "host", "attempts"], rows
+        ))
+    unfinished = sum(
+        counts[state] for state in ("queued", "leased", "requeued", "failed")
+    )
+    return 1 if unfinished else 0
 
 
 def _observed_system(args, obs_config: ObservabilityConfig):
@@ -749,7 +862,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = inline, the reference)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="content-addressed result cache directory")
+    p.add_argument("--hosts", default=None, metavar="H:P,H:P",
+                   help="dispatch shards to these worker hosts "
+                        "(repro dispatch worker) instead of the "
+                        "local pool")
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="persistent dispatch ledger (requires --hosts)")
+    p.add_argument("--lease-seconds", type=float, default=30.0,
+                   help="per-shard lease deadline for --hosts")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the merged OpenMetrics exposition here")
+    p.add_argument("--dispatch-log", default=None, metavar="PATH",
+                   help="write dispatch.* diagnostics as JSONL here")
     _add_serve_args(p)
+
+    p = sub.add_parser("dispatch", help=_EXPERIMENTS["dispatch"])
+    dispatch_sub = p.add_subparsers(dest="verb", required=True)
+    p = dispatch_sub.add_parser(
+        "worker", help="serve sweep shards to a dispatch coordinator"
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (0 = ephemeral, printed at startup)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes in this host's warm pool")
+    p.add_argument("--task-modules", default="repro.parallel.tasks",
+                   metavar="MODS",
+                   help="comma-separated task-function module allowlist")
+    p.add_argument("--heartbeat", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="heartbeat interval while a shard executes")
+    p.add_argument("--inline", action="store_true",
+                   help="run tasks in the serving thread (no pool, "
+                        "no mid-task heartbeats)")
+    p = dispatch_sub.add_parser(
+        "status", help="render a dispatch ledger written by sweep --ledger"
+    )
+    p.add_argument("--ledger", required=True, metavar="PATH",
+                   help="ledger file to inspect")
 
     p = sub.add_parser("cache", help=_EXPERIMENTS["cache"])
     p.add_argument("verb", choices=("ls", "prune", "clear"))
@@ -930,6 +1081,7 @@ _HANDLERS = {
     "resume": _cmd_resume,
     "faults": _cmd_faults,
     "sweep": _cmd_sweep,
+    "dispatch": _cmd_dispatch,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "profile": _cmd_profile,

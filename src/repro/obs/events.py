@@ -37,6 +37,11 @@ CATEGORY_PARALLEL = "parallel"
 #: configuration derivations (e.g. a constant-rate anchor clamped to
 #: the nearest bin edge because the target interval was out of range).
 CATEGORY_ANALYSIS = "analysis"
+#: Multi-host dispatch events: shard leases granted/expired,
+#: heartbeats, hosts retired, re-dispatches, transport faults, and
+#: degradation to local execution.  Like ``parallel``, stamped with
+#: the shard's submission index rather than a simulation cycle.
+CATEGORY_DISPATCH = "dispatch"
 
 ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_SHAPER,
@@ -47,6 +52,7 @@ ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_RESILIENCE,
     CATEGORY_PARALLEL,
     CATEGORY_ANALYSIS,
+    CATEGORY_DISPATCH,
 )
 
 #: ``core_id`` used by events not attributable to a single core

@@ -17,8 +17,19 @@ from repro.parallel.cache import (
     cache_key,
     config_digest,
 )
+from repro.parallel.dispatch import (
+    ChaosProxy,
+    DispatchCoordinator,
+    FrameCorruption,
+    HostCrash,
+    LinkStall,
+    SlowHost,
+    parse_hosts,
+)
 from repro.parallel.executor import SweepExecutor
+from repro.parallel.ledger import DispatchLedger
 from repro.parallel.tasks import ga_population_evaluator
+from repro.parallel.worker import WorkerHost
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -26,6 +37,15 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "config_digest",
+    "ChaosProxy",
+    "DispatchCoordinator",
+    "FrameCorruption",
+    "HostCrash",
+    "LinkStall",
+    "SlowHost",
+    "parse_hosts",
     "SweepExecutor",
+    "DispatchLedger",
     "ga_population_evaluator",
+    "WorkerHost",
 ]

@@ -1,0 +1,812 @@
+"""Fault-tolerant multi-host sweep dispatch.
+
+:class:`DispatchCoordinator` fans a :class:`~repro.parallel.executor.
+SweepExecutor`'s shards out to remote worker hosts
+(:mod:`repro.parallel.worker`) over the digest-verified frame protocol
+(:mod:`repro.parallel.protocol`), and owns every robustness decision
+in between:
+
+* **leases** — each dispatched shard carries a lease id; the
+  coordinator's wait for the next frame is bounded by
+  ``lease_seconds``, and the worker's heartbeats (sent while its pool
+  executes) renew that wait.  Silence past the deadline is a
+  :class:`~repro.common.errors.LeaseExpiredError`: the host is
+  presumed wedged or partitioned.
+* **liveness + re-dispatch** — a lost host (connect failure, reset,
+  EOF), an expired lease, or a corrupt frame retires that host for
+  the rest of the run and requeues its shard for a surviving host,
+  after an exponential-backoff delay computed by the *same*
+  :class:`~repro.resilience.retry.RetryPolicy` the local executor
+  uses (satisfying the one-resilience-vocabulary rule).  Task-raised
+  exceptions are different: they travel in-band, consume the policy's
+  ``max_attempts`` budget, and end in the same typed
+  :class:`~repro.common.errors.WorkerFailureError` a local run would
+  raise.
+* **graceful degradation** — when every host is retired, whatever is
+  still unresolved drains through a caller-supplied local runner (the
+  executor's own inline/pooled path), flagged via the
+  ``dispatch.degraded`` event and gauge; the sweep *completes*, it
+  never silently loses shards.
+* **ledger** — every transition is recorded in a
+  :class:`~repro.parallel.ledger.DispatchLedger` (atomic rewrites),
+  so an interrupted sweep leaves an honest on-disk account and the
+  re-run serves completed shards from the result cache.
+
+Determinism: the coordinator owns *placement and recovery*, never
+*results*.  Shard payloads, seeds and the submission-order merge are
+all fixed by the executor before dispatch begins, so which host runs
+a shard — or whether it ran twice, or locally — is unobservable in
+the merged output.  The coordinator's own ``dispatch.*`` metrics live
+in a **separate registry** from the executor's merged sweep registry
+for the same reason: host counts and re-dispatches are run-dependent
+and must not leak into the byte-identical exposition.
+
+The :class:`ChaosProxy` makes the failure paths testable the way the
+resilience layer's :class:`~repro.resilience.faults.FaultInjector`
+made shaper faults testable: frozen spec dataclasses keyed off shard
+index (never wall clock), firing deterministically at the
+coordinator's transport boundary.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro.common.errors import (
+    ConfigurationError,
+    DispatchError,
+    HostLostError,
+    LeaseExpiredError,
+    ShardTransportError,
+    WorkerFailureError,
+)
+from repro.common.rng import DeterministicRng
+from repro.obs import diag
+from repro.obs.events import CATEGORY_DISPATCH
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.ledger import DispatchLedger
+from repro.parallel.protocol import FrameChannel, hello_payload
+from repro.parallel.worker import task_spec
+from repro.resilience.retry import RetryPolicy, _default_sleep
+
+#: Dispatch default: three tries per shard, exponential backoff between
+#: re-dispatches starting at 100 ms, capped at 2 s.
+DEFAULT_DISPATCH_RETRY_POLICY = RetryPolicy(
+    max_attempts=3,
+    backoff_seconds=0.1,
+    backoff_factor=2.0,
+    backoff_max_seconds=2.0,
+)
+
+#: Default lease deadline: how long the coordinator waits for a frame
+#: (result *or* heartbeat) before declaring the shard's host wedged.
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: TCP connect budget per host.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+
+def parse_hosts(spec: str) -> List[Tuple[str, int]]:
+    """Parse ``"host:port,host:port"`` (the ``--hosts`` flag)."""
+    out: List[Tuple[str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port = part.rpartition(":")
+        if not sep or not host:
+            raise ConfigurationError(
+                f"host spec {part!r} is not of the form 'host:port'"
+            )
+        try:
+            out.append((host, int(port)))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"host spec {part!r} has a non-integer port"
+            ) from exc
+    if not out:
+        raise ConfigurationError(f"no hosts in spec {spec!r}")
+    return out
+
+
+# -- chaos ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Retire the host that picks up ``shard_index``, at send time.
+
+    Models a worker process dying between accepting a shard and
+    acknowledging it: the coordinator sees the connection vanish
+    (:class:`HostLostError`) and must re-dispatch elsewhere.
+    """
+
+    shard_index: int
+
+
+@dataclass(frozen=True)
+class LinkStall:
+    """Stall the link while ``shard_index`` is in flight.
+
+    The coordinator's frame wait times out exactly as if heartbeats
+    stopped arriving — the lease expires and the shard re-dispatches.
+    """
+
+    shard_index: int
+
+
+@dataclass(frozen=True)
+class FrameCorruption:
+    """Corrupt the frame carrying ``shard_index``'s result.
+
+    The digest check fails (:class:`ShardTransportError`); the
+    contract under test is that a corrupt frame is *never* merged —
+    the shard re-runs and the stream is abandoned.
+    """
+
+    shard_index: int
+
+
+@dataclass(frozen=True)
+class SlowHost:
+    """Inject ``heartbeats`` synthetic heartbeats before
+    ``shard_index``'s real result frame.
+
+    Exercises the lease-renewal path: a slow-but-alive host must keep
+    its lease and its shard, with zero effect on the merged output.
+    """
+
+    shard_index: int
+    heartbeats: int = 3
+
+
+class ChaosProxy:
+    """Deterministic failure injection at the coordinator's transport
+    boundary.
+
+    Specs are keyed off the *shard index* being dispatched — never
+    wall clock, thread timing, or host identity alone — so a chaos
+    scenario replays identically on every run (the FaultInjector
+    discipline from :mod:`repro.resilience.faults`).  Each spec fires
+    exactly once; everything that fires is appended to :attr:`log`.
+    """
+
+    def __init__(self, specs: Sequence[Any] = ()) -> None:
+        for spec in specs:
+            if not isinstance(
+                spec, (HostCrash, LinkStall, FrameCorruption, SlowHost)
+            ):
+                raise ConfigurationError(
+                    f"unknown chaos spec {type(spec).__name__}"
+                )
+        self.specs = tuple(specs)
+        self.log: List[Dict[str, Any]] = []
+        self._fired: set = set()
+        self._lock = threading.Lock()
+
+    def _fire(self, position: int, spec: Any, host: str, shard: int) -> None:
+        self.log.append(
+            {
+                "spec": type(spec).__name__,
+                "shard": shard,
+                "host": host,
+            }
+        )
+        self._fired.add(position)
+
+    def before_send(self, host: str, shard: int) -> None:
+        """Hook before a shard frame is sent; may raise."""
+        with self._lock:
+            for position, spec in enumerate(self.specs):
+                if position in self._fired:
+                    continue
+                if isinstance(spec, HostCrash) and spec.shard_index == shard:
+                    self._fire(position, spec, host, shard)
+                    raise HostLostError(
+                        "chaos: host crashed taking shard "
+                        f"{shard}", host=host, shard=shard,
+                    )
+
+    def recv(
+        self,
+        host: str,
+        shard: int,
+        lease: str,
+        real_recv: Callable[[], Tuple[str, Any]],
+    ) -> Tuple[str, Any]:
+        """Hook around one frame receive; may raise or inject."""
+        with self._lock:
+            for position, spec in enumerate(self.specs):
+                if position in self._fired:
+                    continue
+                if not isinstance(
+                    spec, (LinkStall, FrameCorruption, SlowHost)
+                ) or spec.shard_index != shard:
+                    continue
+                if isinstance(spec, LinkStall):
+                    self._fire(position, spec, host, shard)
+                    raise socket.timeout(
+                        f"chaos: link stalled on shard {shard}"
+                    )
+                if isinstance(spec, FrameCorruption):
+                    self._fire(position, spec, host, shard)
+                    raise ShardTransportError(
+                        f"chaos: frame digest mismatch on shard {shard}",
+                        host=host, shard=shard,
+                    )
+                if isinstance(spec, SlowHost):
+                    remaining = self._slow_remaining(position, spec)
+                    if remaining > 0:
+                        self._slow_consume(position)
+                        return (
+                            "heartbeat",
+                            {
+                                "shard": shard,
+                                "lease": lease,
+                                "seq": spec.heartbeats - remaining + 1,
+                                "synthetic": True,
+                            },
+                        )
+                    self._fire(position, spec, host, shard)
+        return real_recv()
+
+    # SlowHost needs per-spec countdown state; keep it out of the
+    # frozen spec itself.
+    def _slow_remaining(self, position: int, spec: SlowHost) -> int:
+        if not hasattr(self, "_slow_state"):
+            self._slow_state: Dict[int, int] = {}
+        return self._slow_state.setdefault(position, spec.heartbeats)
+
+    def _slow_consume(self, position: int) -> None:
+        self._slow_state[position] -= 1
+
+
+# -- coordinator ------------------------------------------------------
+
+
+@dataclass
+class _HostState:
+    """Coordinator-side view of one worker host."""
+
+    index: int
+    address: Tuple[str, int]
+    channel: Optional[FrameChannel] = None
+    alive: bool = True
+    shards_completed: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+
+@dataclass
+class _PendingShard:
+    """One shard's dispatch bookkeeping (distinct from the executor's
+    submission bookkeeping, which never changes here)."""
+
+    shard: Any  # executor _Shard: .index .payload .label .task_seed .digest
+    task_failures: int = 0
+    redispatches: int = 0
+
+    @property
+    def attempts(self) -> int:
+        return self.task_failures + self.redispatches
+
+
+class _TaskFailed(Exception):
+    """Internal: the remote task raised (in-band ok=False result)."""
+
+
+class DispatchCoordinator:
+    """Fans shards out to worker hosts; survives the hosts not
+    surviving.
+
+    Parameters
+    ----------
+    hosts:
+        ``(host, port)`` pairs, or a ``"h:p,h:p"`` spec string.
+    retry:
+        Shared :class:`RetryPolicy`: ``max_attempts`` bounds in-band
+        task failures per shard, the backoff fields pace re-dispatch.
+    lease_seconds:
+        Frame-wait deadline per dispatched shard (renewed by
+        heartbeats).
+    ledger:
+        Path, :class:`DispatchLedger`, or ``None`` (in-memory ledger).
+    chaos:
+        Optional :class:`ChaosProxy`.
+    sleep, rng:
+        Injectable backoff primitives (tests pass recorders); the
+        defaults are the real ``time.sleep`` and midpoint jitter.
+    """
+
+    def __init__(
+        self,
+        hosts: Any,
+        retry: RetryPolicy = DEFAULT_DISPATCH_RETRY_POLICY,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        ledger: Any = None,
+        chaos: Optional[ChaosProxy] = None,
+        sleep: Callable[[float], None] = _default_sleep,
+        rng: Optional[DeterministicRng] = None,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> None:
+        if isinstance(hosts, str):
+            hosts = parse_hosts(hosts)
+        if not hosts:
+            raise ConfigurationError("dispatch needs at least one host")
+        if lease_seconds <= 0:
+            raise ConfigurationError("lease_seconds must be positive")
+        self.retry = retry
+        self.lease_seconds = lease_seconds
+        self.connect_timeout = connect_timeout
+        self.chaos = chaos
+        self._sleep = sleep
+        self._rng = rng
+        if isinstance(ledger, str):
+            ledger = DispatchLedger(ledger)
+        self.ledger: DispatchLedger = (
+            ledger if ledger is not None else DispatchLedger(None)
+        )
+        self._hosts = [
+            _HostState(index=i, address=tuple(addr))
+            for i, addr in enumerate(hosts)
+        ]
+        self.degraded = False
+        self.registry = MetricsRegistry()
+        self.registry.gauge("dispatch.hosts_configured").set(len(self._hosts))
+        self.registry.gauge("dispatch.hosts_alive").set(0)
+        self.registry.gauge("dispatch.degraded").set(0)
+        # Pre-register every counter family so `repro dispatch status`
+        # and scrapes see a stable zero-filled set, not one that grows
+        # as failures happen to occur.
+        for family in (
+            "dispatch.shards_dispatched",
+            "dispatch.shards_completed",
+            "dispatch.cached_shards",
+            "dispatch.redispatches",
+            "dispatch.heartbeats",
+            "dispatch.task_failures",
+            "dispatch.transport_errors",
+            "dispatch.lease_expiries",
+            "dispatch.hosts_retired",
+            "dispatch.local_fallback_shards",
+        ):
+            self.registry.counter(family)
+        self._cond = threading.Condition()
+        self._queue: Deque[_PendingShard] = deque()
+        self._results: Dict[int, Any] = {}
+        self._unresolved: set = set()
+        self._failure: Optional[BaseException] = None
+
+    # -- events / counters (callers hold no lock; diag is append-only,
+    # -- counters are plain int adds guarded by self._cond where racy) --
+
+    def _emit(self, name: str, shard: int = -1, **args: Any) -> None:
+        diag.emit_diagnostic(
+            name, category=CATEGORY_DISPATCH, shard=shard, **args
+        )
+
+    # -- connection management ----------------------------------------
+
+    def _connect(self, state: _HostState) -> None:
+        """Connect + handshake one host; raises DispatchError flavours."""
+        if state.channel is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                state.address, timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise HostLostError(
+                f"connect to {state.name} failed: {exc}", host=state.name
+            ) from exc
+        channel = FrameChannel(sock, state.name)
+        try:
+            channel.send(
+                "hello", hello_payload(repro.__version__, "coordinator")
+            )
+            kind, payload = channel.recv(timeout=self.connect_timeout)
+        except socket.timeout as exc:
+            channel.close()
+            raise HostLostError(
+                f"handshake with {state.name} timed out", host=state.name
+            ) from exc
+        except DispatchError:
+            channel.close()
+            raise
+        if kind != "hello_ack" or not isinstance(payload, dict):
+            detail = ""
+            if kind == "error" and isinstance(payload, dict):
+                detail = f": {payload.get('error', '')}"
+            channel.close()
+            raise ShardTransportError(
+                f"handshake with {state.name} rejected ({kind}){detail}",
+                host=state.name,
+            )
+        if payload.get("code_version") != repro.__version__:
+            channel.close()
+            raise ShardTransportError(
+                f"{state.name} runs code_version "
+                f"{payload.get('code_version')!r} != {repro.__version__} — "
+                "results would not be cache-compatible",
+                host=state.name,
+            )
+        state.channel = channel
+        self._emit("dispatch.host_up", host=state.name)
+
+    def _retire_host(self, state: _HostState, error: BaseException) -> None:
+        with self._cond:
+            if not state.alive:
+                return
+            state.alive = False
+            alive = sum(1 for h in self._hosts if h.alive)
+            self.registry.gauge("dispatch.hosts_alive").set(alive)
+            self.registry.counter("dispatch.hosts_retired").inc()
+            self._cond.notify_all()
+        if state.channel is not None:
+            state.channel.close()
+            state.channel = None
+        self._emit(
+            "dispatch.host_retired", host=state.name,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+    def close(self) -> None:
+        """Drop all connections (worker hosts keep serving)."""
+        for state in self._hosts:
+            if state.channel is not None:
+                state.channel.close()
+                state.channel = None
+
+    def shutdown_workers(self) -> None:
+        """Ask every reachable worker *process* to exit, then close."""
+        for state in self._hosts:
+            try:
+                self._connect(state)
+            except DispatchError:
+                continue
+            try:
+                state.channel.send("shutdown", {"stop_server": True})
+            except DispatchError:
+                pass  # already gone — the goal state anyway
+        self.close()
+
+    # -- the run ------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        shards: Sequence[Any],
+        kind: str = "",
+        cached_shards: Sequence[Any] = (),
+        local_runner: Optional[
+            Callable[[List[Any]], Dict[int, Any]]
+        ] = None,
+    ) -> Dict[int, Any]:
+        """Execute ``shards`` across the hosts; returns index->result.
+
+        ``cached_shards`` are recorded in the ledger (state
+        ``cached``) but never dispatched — the executor already served
+        them from the result cache.  ``local_runner`` is the
+        degradation path: called with every shard still unresolved
+        after all hosts are gone.
+        """
+        spec = task_spec(fn)
+        self.ledger.begin(
+            kind or spec,
+            [h.name for h in self._hosts],
+            len(shards) + len(cached_shards),
+        )
+        for shard in cached_shards:
+            self.registry.counter("dispatch.cached_shards").inc()
+            self.ledger.record(
+                shard.index, "cached", label=shard.label,
+                digest=getattr(shard, "digest", None) or "",
+            )
+        self._queue = deque(_PendingShard(shard) for shard in shards)
+        self._results = {}
+        self._unresolved = {shard.index for shard in shards}
+        self._failure = None
+        for shard in shards:
+            self.ledger.record(shard.index, "queued", label=shard.label)
+        self._emit(
+            "dispatch.sweep_begin", kind=kind or spec,
+            shards=len(shards), cached=len(cached_shards),
+            hosts=len(self._hosts),
+        )
+
+        threads = []
+        for state in self._hosts:
+            if not state.alive:
+                continue
+            thread = threading.Thread(
+                target=self._host_loop, args=(state, spec),
+                name=f"dispatch-{state.name}", daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+
+        if self._failure is not None:
+            raise self._failure
+
+        leftovers = self._drain_leftovers()
+        if leftovers:
+            self._run_degraded(leftovers, local_runner)
+
+        self._emit(
+            "dispatch.sweep_done", shards=len(shards),
+            degraded=self.degraded,
+        )
+        return dict(self._results)
+
+    def _drain_leftovers(self) -> List[_PendingShard]:
+        with self._cond:
+            leftovers = sorted(self._queue, key=lambda p: p.shard.index)
+            self._queue.clear()
+            missing = self._unresolved - {
+                p.shard.index for p in leftovers
+            }
+            if missing:
+                raise DispatchError(
+                    f"shards {sorted(missing)} neither completed nor "
+                    "requeued — coordinator bookkeeping bug"
+                )
+            return leftovers
+
+    def _run_degraded(
+        self,
+        leftovers: List[_PendingShard],
+        local_runner: Optional[Callable[[List[Any]], Dict[int, Any]]],
+    ) -> None:
+        self.degraded = True
+        self.registry.gauge("dispatch.degraded").set(1)
+        self.registry.counter("dispatch.local_fallback_shards").inc(
+            len(leftovers)
+        )
+        self.ledger.set_degraded(True)
+        self._emit(
+            "dispatch.degraded", shards=len(leftovers),
+            reason="all hosts retired",
+        )
+        if local_runner is None:
+            raise DispatchError(
+                f"all {len(self._hosts)} host(s) retired with "
+                f"{len(leftovers)} shard(s) unresolved and no local "
+                "runner to degrade to"
+            )
+        local_results = local_runner([p.shard for p in leftovers])
+        for pending in leftovers:
+            index = pending.shard.index
+            if index not in local_results:
+                raise DispatchError(
+                    f"local drain did not produce shard {index}"
+                )
+            self._results[index] = local_results[index]
+            self._unresolved.discard(index)
+            self.ledger.record(
+                index, "local", label=pending.shard.label,
+                attempts=pending.attempts + 1,
+            )
+
+    # -- per-host worker thread ---------------------------------------
+
+    def _host_loop(self, state: _HostState, spec: str) -> None:
+        try:
+            self._connect(state)
+        except DispatchError as exc:
+            self._retire_host(state, exc)
+            return
+        with self._cond:
+            alive = sum(1 for h in self._hosts if h.alive)
+            self.registry.gauge("dispatch.hosts_alive").set(alive)
+        while True:
+            with self._cond:
+                while (
+                    not self._queue
+                    and self._unresolved
+                    and self._failure is None
+                    and state.alive
+                ):
+                    self._cond.wait(timeout=0.05)
+                if (
+                    self._failure is not None
+                    or not self._unresolved
+                    or not state.alive
+                ):
+                    return
+                if not self._queue:
+                    continue
+                pending = self._queue.popleft()
+            try:
+                value = self._execute_on_host(state, spec, pending)
+            except _TaskFailed as exc:
+                self._handle_task_failure(state, pending, exc)
+                continue
+            except (
+                LeaseExpiredError, ShardTransportError, HostLostError,
+            ) as exc:
+                self._handle_transport_failure(state, pending, exc)
+                return
+            except Exception as exc:  # defensive: never strand a shard
+                with self._cond:
+                    self._queue.append(pending)
+                    if self._failure is None:
+                        self._failure = exc
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._results[pending.shard.index] = value
+                self._unresolved.discard(pending.shard.index)
+                state.shards_completed += 1
+                self.registry.counter("dispatch.shards_completed").inc()
+                self._cond.notify_all()
+            self.ledger.record(
+                pending.shard.index, "completed",
+                label=pending.shard.label, host=state.name,
+                attempts=pending.attempts + 1,
+                digest=getattr(pending.shard, "digest", None) or "",
+            )
+            self._emit(
+                "dispatch.shard_done", shard=pending.shard.index,
+                host=state.name, attempts=pending.attempts + 1,
+            )
+
+    def _execute_on_host(
+        self, state: _HostState, spec: str, pending: _PendingShard
+    ) -> Any:
+        shard = pending.shard
+        lease = f"{shard.index}:{pending.attempts + 1}"
+        if self.chaos is not None:
+            self.chaos.before_send(state.name, shard.index)
+        assert state.channel is not None
+        state.channel.send(
+            "shard",
+            {
+                "shard": shard.index,
+                "lease": lease,
+                "fn": spec,
+                "payload": shard.payload,
+                "task_seed": shard.task_seed,
+                "label": shard.label,
+            },
+        )
+        with self._cond:
+            self.registry.counter("dispatch.shards_dispatched").inc()
+        self.ledger.record(
+            shard.index, "leased", label=shard.label, host=state.name,
+            attempts=pending.attempts + 1,
+        )
+        self._emit(
+            "dispatch.shard_leased", shard=shard.index, host=state.name,
+            lease=lease,
+        )
+
+        def real_recv() -> Tuple[str, Any]:
+            assert state.channel is not None
+            return state.channel.recv(timeout=self.lease_seconds)
+
+        while True:
+            try:
+                if self.chaos is not None:
+                    kind, payload = self.chaos.recv(
+                        state.name, shard.index, lease, real_recv
+                    )
+                else:
+                    kind, payload = real_recv()
+            except socket.timeout as exc:
+                raise LeaseExpiredError(
+                    f"lease {lease} on {state.name} expired after "
+                    f"{self.lease_seconds}s without heartbeat or result",
+                    host=state.name, shard=shard.index,
+                    lease_seconds=self.lease_seconds,
+                ) from exc
+            if not isinstance(payload, dict):
+                raise ShardTransportError(
+                    f"non-object {kind!r} payload from {state.name}",
+                    host=state.name, shard=shard.index,
+                )
+            if payload.get("lease") != lease:
+                # A frame from a previous lease (e.g. a result that
+                # raced its own expiry): log and keep waiting — stale
+                # results are *never* merged.
+                self._emit(
+                    "dispatch.stale_frame", shard=shard.index,
+                    host=state.name, kind=kind,
+                    stale_lease=str(payload.get("lease")),
+                )
+                continue
+            if kind == "heartbeat":
+                with self._cond:
+                    self.registry.counter("dispatch.heartbeats").inc()
+                self._emit(
+                    "dispatch.heartbeat", shard=shard.index,
+                    host=state.name, seq=payload.get("seq", 0),
+                )
+                continue
+            if kind == "result":
+                if payload.get("ok"):
+                    return payload.get("value")
+                raise _TaskFailed(payload.get("error", "unknown error"))
+            raise ShardTransportError(
+                f"unexpected {kind!r} frame from {state.name} while "
+                f"waiting on lease {lease}",
+                host=state.name, shard=shard.index,
+            )
+
+    # -- failure handling ---------------------------------------------
+
+    def _handle_task_failure(
+        self, state: _HostState, pending: _PendingShard, exc: _TaskFailed
+    ) -> None:
+        """The task itself raised on the worker: budget it like the
+        local executor budgets attempts."""
+        pending.task_failures += 1
+        with self._cond:
+            self.registry.counter("dispatch.task_failures").inc()
+        self._emit(
+            "dispatch.shard_task_failed", shard=pending.shard.index,
+            host=state.name, attempts=pending.attempts,
+            error=str(exc),
+        )
+        if pending.task_failures >= self.retry.max_attempts:
+            failure = WorkerFailureError(
+                f"task {pending.shard.label} failed after "
+                f"{pending.task_failures} attempt(s): {exc}",
+                task_index=pending.shard.index,
+                label=pending.shard.label,
+                attempts=pending.task_failures,
+                last_error=str(exc),
+            )
+            self.ledger.record(
+                pending.shard.index, "failed", label=pending.shard.label,
+                attempts=pending.attempts, detail=str(exc),
+            )
+            with self._cond:
+                if self._failure is None:
+                    self._failure = failure
+                self._cond.notify_all()
+            return
+        self._requeue(pending, f"task failure: {exc}")
+
+    def _handle_transport_failure(
+        self, state: _HostState, pending: _PendingShard, exc: BaseException
+    ) -> None:
+        """The *transport* failed: retire the host, requeue the shard
+        (transport loss does not consume the task's attempt budget —
+        the task never got a chance to be wrong)."""
+        with self._cond:
+            if isinstance(exc, LeaseExpiredError):
+                self.registry.counter("dispatch.lease_expiries").inc()
+            elif isinstance(exc, ShardTransportError):
+                self.registry.counter("dispatch.transport_errors").inc()
+        self._retire_host(state, exc)
+        pending.redispatches += 1
+        self._requeue(pending, f"{type(exc).__name__}: {exc}")
+
+    def _requeue(self, pending: _PendingShard, reason: str) -> None:
+        delay = self.retry.backoff_delay(
+            max(1, pending.attempts), rng=self._rng
+        )
+        if delay > 0.0:
+            self._sleep(delay)
+        with self._cond:
+            self.registry.counter("dispatch.redispatches").inc()
+            self._queue.append(pending)
+            self._cond.notify_all()
+        self.ledger.record(
+            pending.shard.index, "requeued", label=pending.shard.label,
+            attempts=pending.attempts,
+        )
+        self._emit(
+            "dispatch.shard_requeued", shard=pending.shard.index,
+            attempts=pending.attempts, reason=reason,
+            backoff_seconds=delay,
+        )

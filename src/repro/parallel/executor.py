@@ -70,7 +70,11 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import (
+    ConfigurationError,
+    ShardTimeoutError,
+    WorkerFailureError,
+)
 from repro.common.rng import DeterministicRng
 from repro.obs import diag
 from repro.obs.events import CATEGORY_PARALLEL
@@ -207,6 +211,25 @@ def _discard_pool() -> None:
     _POOL_WORKERS = 0
 
 
+def _terminate_pool() -> None:
+    """Drop the warm pool *and* kill its worker processes.
+
+    ``shutdown(wait=False)`` alone leaves a wedged worker running its
+    stuck task forever; after a shard timeout the only way to reclaim
+    the CPU is to terminate the processes outright.  Queued futures on
+    the old pool fail with ``BrokenProcessPool`` and retry on a fresh
+    pool — pure tasks make that safe.
+    """
+    pool = _POOL
+    processes = list(getattr(pool, "_processes", {}).values()) if pool else []
+    _discard_pool()
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError, AttributeError):
+            pass  # already exited / never fully started
+
+
 atexit.register(_discard_pool)
 
 
@@ -256,6 +279,13 @@ class SweepExecutor:
     tracer:
         Optional :class:`~repro.obs.tracer.EventTracer`; lifecycle
         events are always mirrored into :mod:`repro.obs.diag`.
+    dispatch:
+        Optional :class:`~repro.parallel.dispatch.DispatchCoordinator`.
+        When set, shards that miss the cache run on remote worker
+        hosts instead of the local pool; if every host is lost the
+        coordinator drains the remainder back through this executor's
+        local paths (degraded mode).  Placement never affects results
+        — see docs/dispatch.md.
     """
 
     def __init__(
@@ -265,12 +295,14 @@ class SweepExecutor:
         cache: Optional[Any] = None,
         retry: RetryPolicy = DEFAULT_RETRY_POLICY,
         tracer: Any = NULL_TRACER,
+        dispatch: Optional[Any] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.retry = retry
         self.tracer = tracer
+        self.dispatch = dispatch
         self._seed_root = DeterministicRng(seed)
         self._tasks_submitted = 0
         if isinstance(cache, str):
@@ -349,7 +381,12 @@ class SweepExecutor:
                        label=shard.label)
 
         if to_run:
-            if self.jobs == 1 or len(to_run) == 1:
+            if self.dispatch is not None:
+                cached_shards = [s for s in shards if s.cached]
+                self._run_dispatched(
+                    fn, to_run, cached_shards, kind, results
+                )
+            elif self.jobs == 1 or len(to_run) == 1:
                 self._run_inline(fn, to_run, results)
             else:
                 self._run_pooled(fn, to_run, results)
@@ -419,6 +456,84 @@ class SweepExecutor:
 
     # -- execution strategies ---------------------------------------------
 
+    def _run_dispatched(
+        self,
+        fn: Callable[..., Any],
+        to_run: List[_Shard],
+        cached_shards: List[_Shard],
+        kind: Optional[str],
+        results: Dict[int, Any],
+    ) -> None:
+        """Fan shards out through the dispatch coordinator.
+
+        The coordinator owns placement and recovery; this method owns
+        the executor-side accounting that keeps the ``parallel.*``
+        gauges jobs- *and* placement-invariant: exactly one
+        ``task_done`` per shard, whether the shard ran on a remote
+        host or drained through the local paths in degraded mode (the
+        local paths emit their own events, so remote completions are
+        emitted here and drained shards are not double-counted).
+        """
+        drained: set = set()
+
+        def local_runner(shard_list: List[_Shard]) -> Dict[int, Any]:
+            local_results: Dict[int, Any] = {}
+            drained.update(s.index for s in shard_list)
+            if self.jobs == 1 or len(shard_list) == 1:
+                self._run_inline(fn, shard_list, local_results)
+            else:
+                self._run_pooled(fn, shard_list, local_results)
+            return local_results
+
+        dispatched = self.dispatch.run(
+            fn,
+            to_run,
+            kind=kind or "",
+            cached_shards=cached_shards,
+            local_runner=local_runner,
+        )
+        for shard in to_run:
+            results[shard.index] = dispatched[shard.index]
+            if shard.index not in drained:
+                self.tasks_run += 1
+                self._emit(
+                    "parallel.task_done", shard.index, label=shard.label
+                )
+
+    def _shard_timeout(
+        self, shard: _Shard, attempt: int, chunk_size: int
+    ) -> ShardTimeoutError:
+        """Build the typed timeout error for a wedged shard.
+
+        Watchdog discipline (docs/resilience.md): the failure carries
+        a structured dump of what was stuck, the event ring gets a
+        mirror of it, and the wedged pool is terminated so the stuck
+        worker cannot keep burning a core behind the sweep's back.
+        """
+        dump = {
+            "shard": shard.index,
+            "label": shard.label,
+            "attempt": attempt,
+            "timeout_seconds": self.retry.timeout_seconds,
+            "chunk_size": chunk_size,
+            "jobs": self.jobs,
+            "pool_terminated": True,
+        }
+        self._emit(
+            "parallel.shard_timeout", shard.index, label=shard.label,
+            attempt=attempt, timeout_seconds=self.retry.timeout_seconds,
+        )
+        _terminate_pool()
+        return ShardTimeoutError(
+            f"shard {shard.label} exceeded its "
+            f"{self.retry.timeout_seconds}s attempt budget "
+            f"(attempt {attempt}, chunk of {chunk_size})",
+            task_index=shard.index,
+            label=shard.label,
+            timeout_seconds=self.retry.timeout_seconds or 0.0,
+            dump=dump,
+        )
+
     def _run_inline(
         self, fn: Callable[..., Any], to_run: List[_Shard],
         results: Dict[int, Any],
@@ -463,18 +578,22 @@ class SweepExecutor:
             start += size
 
         pool = _warm_pool(workers)
-        pending: List[
-            Tuple[List[_Shard], concurrent.futures.Future]
-        ] = []
+        # A chunk slot holds either a Future or the exception submit
+        # itself raised: a worker dying while later chunks are still
+        # being submitted breaks the pool mid-loop, and that must cost
+        # the affected shards one attempt, not the whole sweep.
+        pending: List[Tuple[List[_Shard], Any]] = []
         for chunk in chunks:
             shared, deltas = _split_common([s.payload for s in chunk])
             items = [
                 (delta, shard.task_seed)
                 for delta, shard in zip(deltas, chunk)
             ]
-            pending.append(
-                (chunk, pool.submit(_call_task_chunk, fn, shared, items))
-            )
+            try:
+                slot: Any = pool.submit(_call_task_chunk, fn, shared, items)
+            except Exception as exc:  # BrokenProcessPool and kin
+                slot = exc
+            pending.append((chunk, slot))
 
         # First-attempt outcomes, (ok, value-or-exception) per shard.
         # A chunk-level failure (timeout, dead pool) charges every
@@ -482,29 +601,44 @@ class SweepExecutor:
         # accounting.
         outcomes: Dict[int, Tuple[bool, Any]] = {}
         for chunk, future in pending:
-            timeout = self.retry.timeout_seconds
-            if timeout is not None:
-                timeout *= len(chunk)
-            try:
-                for shard, outcome in zip(chunk, future.result(timeout)):
-                    outcomes[shard.index] = outcome
-            except concurrent.futures.TimeoutError as exc:
-                future.cancel()
+            if isinstance(future, BaseException):
                 for shard in chunk:
-                    outcomes[shard.index] = (False, exc)
-            except Exception as exc:  # BrokenProcessPool and kin
-                for shard in chunk:
-                    outcomes[shard.index] = (False, exc)
+                    outcomes[shard.index] = (False, future)
+            else:
+                timeout = self.retry.timeout_seconds
+                if timeout is not None:
+                    timeout *= len(chunk)
+                try:
+                    for shard, outcome in zip(
+                        chunk, future.result(timeout)
+                    ):
+                        outcomes[shard.index] = outcome
+                except concurrent.futures.TimeoutError as exc:
+                    future.cancel()
+                    for shard in chunk:
+                        outcomes[shard.index] = (False, exc)
+                except Exception as exc:  # BrokenProcessPool and kin
+                    for shard in chunk:
+                        outcomes[shard.index] = (False, exc)
 
             for shard in chunk:
-                def attempt(number: int, shard: _Shard = shard) -> Any:
+                def attempt(number: int, shard: _Shard = shard,
+                            chunk: List[_Shard] = chunk) -> Any:
                     nonlocal pool
                     if number == 1:
                         ok, value = outcomes[shard.index]
                         if ok:
                             return value
+                        if isinstance(
+                            value, concurrent.futures.TimeoutError
+                        ):
+                            raise self._shard_timeout(
+                                shard, number, len(chunk)
+                            ) from value
                         raise value
-                    if getattr(pool, "_broken", False):
+                    if pool is not _POOL or getattr(pool, "_broken", False):
+                        # The warm pool broke or was terminated after
+                        # a shard timeout: rebuild before retrying.
                         _discard_pool()
                         pool = _warm_pool(workers)
                     retry_future = pool.submit(
@@ -514,15 +648,25 @@ class SweepExecutor:
                         return retry_future.result(
                             timeout=self.retry.timeout_seconds
                         )
-                    except concurrent.futures.TimeoutError:
+                    except concurrent.futures.TimeoutError as exc:
                         retry_future.cancel()
-                        raise
+                        raise self._shard_timeout(shard, number, 1) from exc
 
-                results[shard.index] = run_attempts(
-                    attempt, self.retry,
-                    task_index=shard.index, label=shard.label,
-                    on_retry=lambda n, e, s=shard: self._on_retry(s, n, e),
-                )
+                try:
+                    results[shard.index] = run_attempts(
+                        attempt, self.retry,
+                        task_index=shard.index, label=shard.label,
+                        on_retry=lambda n, e, s=shard: self._on_retry(s, n, e),
+                    )
+                except WorkerFailureError as failure:
+                    cause = failure.__cause__
+                    if isinstance(cause, ShardTimeoutError):
+                        # Every attempt hit the budget: surface the
+                        # typed timeout (with its structured dump)
+                        # rather than the generic retry wrapper.
+                        cause.dump["attempts"] = failure.attempts
+                        raise cause from failure
+                    raise
                 self.tasks_run += 1
                 self._emit("parallel.task_done", shard.index,
                            label=shard.label)

@@ -1,0 +1,204 @@
+"""Length-prefixed, digest-verified JSON frames for sweep dispatch.
+
+The coordinator (:mod:`repro.parallel.dispatch`) and the worker host
+(:mod:`repro.parallel.worker`) speak a deliberately small wire
+protocol over one TCP connection per host: every message is a single
+*frame* and every frame is independently verifiable, because a
+corrupted length-prefixed stream cannot be re-synchronised — once a
+length field is wrong, every subsequent read is garbage.  The framing
+therefore fails *loudly and typed* (:class:`ShardTransportError`)
+and the caller retires the connection instead of guessing.
+
+Frame layout (all integers big-endian)::
+
+    MAGIC   4 bytes   b"RDSP"
+    LENGTH  4 bytes   byte length of BODY (bounded by MAX_FRAME_BYTES)
+    DIGEST 16 bytes   first 16 hex chars of sha256(BODY), ASCII
+    BODY    LENGTH    canonical JSON: {"v": 1, "kind": ..., "payload": ...}
+
+The digest makes truncation/corruption detectable before JSON parsing
+ever runs; the canonical-JSON body keeps frames deterministic, which
+the chaos harness relies on (a `FrameCorruption` spec flips bytes in
+a frame whose exact bytes are reproducible).
+
+Error taxonomy at this layer:
+
+* bad magic, oversized length, digest mismatch, non-JSON or
+  non-protocol body ⇒ :class:`ShardTransportError` (the *stream* is
+  poisoned);
+* EOF at a frame boundary, connection reset ⇒ :class:`HostLostError`
+  (the *peer* is gone);
+* ``socket.timeout`` propagates unchanged — the dispatch coordinator
+  converts recv deadlines into lease expiries itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import HostLostError, ShardTransportError
+from repro.common.util import canonical_doc
+
+#: Protocol version embedded in every frame body; a mismatch at
+#: handshake retires the host (no cross-version negotiation).
+PROTOCOL_VERSION = 1
+
+#: Frame preamble — lets a peer reject a non-dispatch stream (an HTTP
+#: client, a port scan) on the first four bytes.
+MAGIC = b"RDSP"
+
+#: Upper bound on a frame body.  Sweep payloads and result documents
+#: are small (a few KiB of JSON plus a serialized metrics registry);
+#: 64 MiB is generous headroom while still catching a corrupted
+#: length field before it turns into a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">4sI16s")
+DIGEST_CHARS = 16
+
+
+def body_digest(body: bytes) -> bytes:
+    """First :data:`DIGEST_CHARS` hex chars of sha256(body), as ASCII."""
+    return hashlib.sha256(body).hexdigest()[:DIGEST_CHARS].encode("ascii")
+
+
+def encode_frame(kind: str, payload: Any) -> bytes:
+    """Serialise one protocol message to its on-wire bytes."""
+    doc = {"v": PROTOCOL_VERSION, "kind": kind, "payload": canonical_doc(payload)}
+    body = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ShardTransportError(
+            f"frame body of {len(body)} bytes exceeds "
+            f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+        )
+    return _HEADER.pack(MAGIC, len(body), body_digest(body)) + body
+
+
+def decode_body(body: bytes, host: str = "") -> Tuple[str, Any]:
+    """Parse a verified frame body into ``(kind, payload)``."""
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ShardTransportError(
+            f"frame body is not valid JSON: {exc}", host=host
+        ) from exc
+    if not isinstance(doc, dict) or set(doc) != {"v", "kind", "payload"}:
+        raise ShardTransportError(
+            "frame body is not a protocol message "
+            f"(keys: {sorted(doc) if isinstance(doc, dict) else type(doc).__name__})",
+            host=host,
+        )
+    if doc["v"] != PROTOCOL_VERSION:
+        raise ShardTransportError(
+            f"frame protocol version {doc['v']!r} != {PROTOCOL_VERSION}",
+            host=host,
+        )
+    if not isinstance(doc["kind"], str):
+        raise ShardTransportError("frame kind is not a string", host=host)
+    return doc["kind"], doc["payload"]
+
+
+def read_exact(sock: socket.socket, count: int, host: str = "") -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`HostLostError`.
+
+    EOF mid-read means the peer died between frames or mid-frame;
+    either way the connection is unusable.  ``socket.timeout``
+    propagates to the caller (lease logic), other ``OSError``\\ s are
+    wrapped as :class:`HostLostError`.
+    """
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout:
+            raise
+        except OSError as exc:
+            raise HostLostError(
+                f"connection error after {count - remaining}/{count} bytes: {exc}",
+                host=host,
+            ) from exc
+        if not chunk:
+            raise HostLostError(
+                f"peer closed connection after {count - remaining}/{count} bytes",
+                host=host,
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameChannel:
+    """One framed, digest-verified message stream over a socket.
+
+    Thin and stateless beyond the socket itself: ``send`` writes one
+    frame, ``recv`` reads and verifies one frame.  Both sides of the
+    dispatch protocol use the same channel class, so framing bugs
+    cannot hide in an asymmetric reimplementation.
+    """
+
+    def __init__(self, sock: socket.socket, host: str = "") -> None:
+        self._sock = sock
+        self.host = host
+
+    def send(self, kind: str, payload: Any) -> None:
+        data = encode_frame(kind, payload)
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise HostLostError(
+                f"send of {kind!r} frame failed: {exc}", host=self.host
+            ) from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[str, Any]:
+        """Read one frame; ``timeout`` bounds the wait for its *first*
+        byte (and each subsequent read) via ``socket.settimeout``.
+
+        ``socket.timeout`` propagates so the coordinator can treat it
+        as a missed heartbeat rather than a transport fault.
+        """
+        try:
+            self._sock.settimeout(timeout)
+        except OSError as exc:
+            raise HostLostError(
+                f"socket unusable: {exc}", host=self.host
+            ) from exc
+        header = read_exact(self._sock, _HEADER.size, host=self.host)
+        magic, length, digest = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ShardTransportError(
+                f"bad frame magic {magic!r}", host=self.host
+            )
+        if length > MAX_FRAME_BYTES:
+            raise ShardTransportError(
+                f"frame length {length} exceeds MAX_FRAME_BYTES="
+                f"{MAX_FRAME_BYTES} (corrupt length field?)",
+                host=self.host,
+            )
+        body = read_exact(self._sock, length, host=self.host)
+        actual = body_digest(body)
+        if actual != digest:
+            raise ShardTransportError(
+                f"frame digest mismatch: header {digest!r} != body {actual!r}",
+                host=self.host,
+            )
+        return decode_body(body, host=self.host)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already closed/reset by the peer; nothing to shut down
+        try:
+            self._sock.close()
+        except OSError:
+            pass  # double-close is harmless here
+
+
+def hello_payload(code_version: str, role: str) -> Dict[str, Any]:
+    """Handshake body: both sides announce version and role."""
+    return {"code_version": code_version, "role": role, "protocol": PROTOCOL_VERSION}

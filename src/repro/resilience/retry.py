@@ -1,33 +1,49 @@
-"""Retry/timeout policy for operations that may fail transiently.
+"""Retry/timeout/backoff policy for operations that may fail transiently.
 
-The parallel sweep executor (:mod:`repro.parallel.executor`) delegates
-its worker-failure handling here so the policy is a reusable,
-independently tested resilience primitive rather than scheduling code:
-a bounded number of attempts, an optional per-attempt timeout, and a
+The parallel sweep executor (:mod:`repro.parallel.executor`) and the
+multi-host dispatch coordinator (:mod:`repro.parallel.dispatch`)
+delegate their worker-failure handling here so the policy is a
+reusable, independently tested resilience primitive rather than
+scheduling code: a bounded number of attempts, an optional per-attempt
+timeout, an optional exponential backoff between attempts, and a
 structured :class:`~repro.common.errors.WorkerFailureError` when the
 budget runs out.
+
+Backoff is *injectable*: :func:`run_attempts` takes ``sleep`` and
+``rng`` parameters so tests (and the deterministic dispatch chaos
+harness) can observe the exact delays the policy computes without ever
+sleeping for real.  The defaults preserve the historical behaviour —
+``backoff_seconds=0.0`` means no sleeping at all, and only when a
+policy actually requests backoff does the real ``time.sleep`` come
+into play.
 
 Determinism note: retrying a *deterministic* task is safe by
 construction — a repro simulation task is a pure function of its
 payload and seed, so attempt N produces the same result attempt 1
 would have.  The policy therefore never changes results, only whether
-a transient fault (worker killed by the OS, pool torn down) becomes a
-run-ending error.
+a transient fault (worker killed by the OS, pool torn down, a dispatch
+host lost mid-shard) becomes a run-ending error.  Jitter, when
+enabled, perturbs only *when* an attempt runs, never *what* it
+computes, and draws from a caller-provided RNG so even the delays are
+replayable.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
 
 from repro.common.errors import ConfigurationError, WorkerFailureError
+from repro.common.rng import DeterministicRng
 
 T = TypeVar("T")
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How many times to try a task, and how long one attempt may take.
+    """How many times to try a task, how long one attempt may take, and
+    how long to wait between attempts.
 
     ``max_attempts``
         Total attempts including the first (1 = no retries).
@@ -36,20 +52,79 @@ class RetryPolicy:
         Enforced by the caller's wait primitive (the executor passes it
         to ``Future.result``); :func:`run_attempts` treats a
         ``TimeoutError`` like any other attempt failure.
+    ``backoff_seconds``
+        Base delay before the *second* attempt.  ``0.0`` (the default)
+        disables backoff entirely — no sleep callable is ever invoked.
+    ``backoff_factor``
+        Multiplier applied per additional failure: the delay before
+        attempt ``n+1`` is ``backoff_seconds * backoff_factor**(n-1)``.
+    ``backoff_max_seconds``
+        Cap on any single delay, or ``None`` for uncapped growth.
+    ``jitter_fraction``
+        Fraction of the (capped) delay added as uniform random jitter:
+        the final delay is ``d * (1 + U[0, jitter_fraction))``.  Jitter
+        draws from the ``rng`` passed to :func:`run_attempts` /
+        :meth:`backoff_delay`, keeping delays replayable.
     """
 
     max_attempts: int = 2
     timeout_seconds: Optional[float] = None
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_seconds: Optional[float] = None
+    jitter_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ConfigurationError("timeout_seconds must be positive")
+        if self.backoff_seconds < 0:
+            raise ConfigurationError("backoff_seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.backoff_max_seconds is not None and self.backoff_max_seconds < 0:
+            raise ConfigurationError("backoff_max_seconds must be >= 0")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1]")
+
+    def backoff_delay(
+        self, failed_attempts: int, rng: Optional[DeterministicRng] = None
+    ) -> float:
+        """Delay in seconds before the attempt after ``failed_attempts``
+        failures (``failed_attempts >= 1``).
+
+        Pure given its inputs: exponential growth from
+        ``backoff_seconds``, capped at ``backoff_max_seconds``, plus
+        jitter drawn from ``rng`` when ``jitter_fraction > 0``.  With
+        jitter enabled but no ``rng`` supplied the deterministic
+        midpoint (half the jitter range) is used, so callers that do
+        not care about jitter spread still get reproducible delays.
+        """
+        if failed_attempts < 1:
+            raise ConfigurationError("failed_attempts must be >= 1")
+        if self.backoff_seconds == 0.0:
+            return 0.0
+        delay = self.backoff_seconds * self.backoff_factor ** (failed_attempts - 1)
+        if self.backoff_max_seconds is not None:
+            delay = min(delay, self.backoff_max_seconds)
+        if self.jitter_fraction > 0.0:
+            if rng is not None:
+                fraction = rng.random() * self.jitter_fraction
+            else:
+                fraction = self.jitter_fraction / 2.0
+            delay *= 1.0 + fraction
+        return delay
 
 
-#: The executor default: one retry, no timeout.
+#: The executor default: one retry, no timeout, no backoff.
 DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def _default_sleep(seconds: float) -> None:
+    """Real wall-clock sleep; only reached when a policy enables backoff."""
+    # repro-lint: disable-next-line=RL001 — retry backoff is wall-clock
+    time.sleep(seconds)
 
 
 def run_attempts(
@@ -58,24 +133,35 @@ def run_attempts(
     task_index: int = -1,
     label: str = "",
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+    rng: Optional[DeterministicRng] = None,
 ) -> T:
     """Call ``attempt(attempt_number)`` until it succeeds or the budget ends.
 
     ``attempt`` receives the 1-based attempt number (so the callee can
     log or re-derive state); any exception it raises consumes one
     attempt.  ``on_retry(next_attempt_number, error)`` fires before
-    each re-attempt.  After ``policy.max_attempts`` failures a
+    each re-attempt, *before* any backoff delay.  When the policy
+    requests backoff, ``sleep(delay)`` is called with the value of
+    :meth:`RetryPolicy.backoff_delay`; pass a recording stub to test
+    retry schedules without real delays (``rng`` feeds the jitter
+    draw).  After ``policy.max_attempts`` failures a
     :class:`WorkerFailureError` carrying the shard identity and the
     last cause is raised.
     """
+    sleeper = sleep if sleep is not None else _default_sleep
     last_error: Optional[BaseException] = None
     for number in range(1, policy.max_attempts + 1):
         try:
             return attempt(number)
         except Exception as exc:  # noqa: BLE001 — the boundary this exists for
             last_error = exc
-            if number < policy.max_attempts and on_retry is not None:
-                on_retry(number + 1, exc)
+            if number < policy.max_attempts:
+                if on_retry is not None:
+                    on_retry(number + 1, exc)
+                delay = policy.backoff_delay(number, rng=rng)
+                if delay > 0.0:
+                    sleeper(delay)
     raise WorkerFailureError(
         f"task {label or task_index} failed after "
         f"{policy.max_attempts} attempt(s): {last_error}",

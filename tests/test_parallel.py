@@ -11,12 +11,18 @@ not code), which is why the toy tasks live at module scope.
 import dataclasses
 import json
 import os
+import signal
+import time
 
 import pytest
 
 from repro.analysis.experiments import ExperimentDefaults, tradeoff_sweep
 from repro.analysis.sweeps import noc_latency_sweep
-from repro.common.errors import ConfigurationError, WorkerFailureError
+from repro.common.errors import (
+    ConfigurationError,
+    ShardTimeoutError,
+    WorkerFailureError,
+)
 from repro.common.rng import DeterministicRng
 from repro.ga.genetic import GaConfig, GeneticAlgorithm
 from repro.obs import diag
@@ -58,6 +64,27 @@ def flaky_task(payload):
 
 def always_fails_task(payload):
     raise ValueError("permanent failure")
+
+
+def suicide_once_task(payload):
+    """SIGKILLs its own pool worker the first time any task runs.
+
+    Models the OOM killer taking a worker mid-chunk: the marker file is
+    written *before* the kill, so retries (on the rebuilt pool) see it
+    and succeed.
+    """
+    marker = payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("dying")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"survived": payload["x"]}
+
+
+def sleepy_task(payload):
+    """Wedges: sleeps far past any test's per-attempt timeout."""
+    time.sleep(payload.get("delay", 60.0))
+    return {"done": True}
 
 
 @pytest.fixture(autouse=True)
@@ -302,6 +329,53 @@ class TestRegistryMerge:
             executor.map(noc_latency_task, self._payloads())
             texts.append(render_openmetrics(executor.merged_registry()))
         assert texts[0] == texts[1]
+
+
+class TestBrokenPoolRebuild:
+    def test_killed_pool_worker_rebuilds_and_preserves_output(self, tmp_path):
+        """A pool worker SIGKILLed mid-chunk breaks the warm pool; the
+        executor must rebuild it, retry only the affected shards, and
+        still merge the jobs-invariant output."""
+        from repro.parallel import executor as executor_mod
+
+        marker = str(tmp_path / "killed")
+        payloads = [{"x": i, "marker": marker} for i in range(6)]
+        executor = SweepExecutor(jobs=2)
+        results = executor.map(suicide_once_task, payloads)
+        # merged output identical to what any healthy run produces
+        assert results == [{"survived": i} for i in range(6)]
+        assert os.path.exists(marker)
+        # at least one shard was re-run after the pool broke...
+        assert executor.retries >= 1
+        assert diag.count("parallel.task_retry") == executor.retries
+        # ...on a pool that was rebuilt, not the broken one
+        assert executor_mod._POOL is not None
+        assert not getattr(executor_mod._POOL, "_broken", False)
+
+
+class TestShardTimeout:
+    def test_wedged_shard_raises_typed_timeout(self):
+        """Satellite contract: a shard exceeding its per-attempt budget
+        surfaces a typed ShardTimeoutError with a watchdog-style dump,
+        and the wedged pool is terminated."""
+        from repro.parallel import executor as executor_mod
+
+        executor = SweepExecutor(
+            jobs=2, retry=RetryPolicy(max_attempts=1, timeout_seconds=0.5)
+        )
+        payloads = [{"delay": 30.0}, {"delay": 30.0}]
+        with pytest.raises(ShardTimeoutError) as excinfo:
+            executor.map(sleepy_task, payloads)
+        err = excinfo.value
+        assert err.task_index == 0
+        assert err.timeout_seconds == 0.5
+        assert err.dump["pool_terminated"] is True
+        assert err.dump["attempts"] == 1
+        assert err.dump["jobs"] == 2
+        assert err.dump["label"] == err.label
+        assert diag.count("parallel.shard_timeout") >= 1
+        # the stuck workers were killed, not left burning a core
+        assert executor_mod._POOL is None
 
 
 class TestCacheHits:

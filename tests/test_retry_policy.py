@@ -1,0 +1,163 @@
+"""Tests for the injectable backoff surface of repro.resilience.retry.
+
+Satellite contract: ``RetryPolicy`` gained exponential backoff with an
+injectable sleep/rng so tests observe the exact retry schedule without
+wall-clock delays, and the defaults preserve the historical behaviour
+(no sleeping at all).
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, WorkerFailureError
+from repro.common.rng import DeterministicRng
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    run_attempts,
+)
+
+
+class TestBackoffDelay:
+    def test_disabled_by_default(self):
+        assert DEFAULT_RETRY_POLICY.backoff_seconds == 0.0
+        assert DEFAULT_RETRY_POLICY.backoff_delay(1) == 0.0
+        assert DEFAULT_RETRY_POLICY.backoff_delay(5) == 0.0
+
+    def test_exponential_growth(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_seconds=0.125, backoff_factor=2.0
+        )
+        assert policy.backoff_delay(1) == 0.125
+        assert policy.backoff_delay(2) == 0.25
+        assert policy.backoff_delay(3) == 0.5
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            max_attempts=8,
+            backoff_seconds=0.125,
+            backoff_factor=2.0,
+            backoff_max_seconds=0.3,
+        )
+        assert policy.backoff_delay(1) == 0.125
+        assert policy.backoff_delay(2) == 0.25
+        assert policy.backoff_delay(3) == 0.3
+        assert policy.backoff_delay(7) == 0.3
+
+    def test_jitter_without_rng_is_midpoint(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_seconds=1.0, jitter_fraction=0.5
+        )
+        # midpoint of U[0, 0.5) is 0.25 -> delay * 1.25
+        assert policy.backoff_delay(1) == 1.25
+
+    def test_jitter_with_rng_is_replayable(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_seconds=1.0, jitter_fraction=0.5
+        )
+        a = policy.backoff_delay(1, rng=DeterministicRng(7))
+        b = policy.backoff_delay(1, rng=DeterministicRng(7))
+        assert a == b
+        assert 1.0 <= a < 1.5
+
+    def test_failed_attempts_must_be_positive(self):
+        policy = RetryPolicy(max_attempts=2, backoff_seconds=0.1)
+        with pytest.raises(ConfigurationError):
+            policy.backoff_delay(0)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"timeout_seconds": 0.0},
+            {"backoff_seconds": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_max_seconds": -1.0},
+            {"jitter_fraction": 1.5},
+            {"jitter_fraction": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestRunAttemptsBackoff:
+    def test_default_policy_never_sleeps(self):
+        sleeps = []
+        calls = []
+
+        def attempt(number):
+            calls.append(number)
+            if number == 1:
+                raise ValueError("transient")
+            return "ok"
+
+        result = run_attempts(attempt, sleep=sleeps.append)
+        assert result == "ok"
+        assert calls == [1, 2]
+        assert sleeps == []
+
+    def test_backoff_schedule_recorded_via_injected_sleep(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_seconds=0.125, backoff_factor=2.0
+        )
+        sleeps = []
+
+        def attempt(number):
+            if number < 4:
+                raise ValueError(f"fail {number}")
+            return number
+
+        result = run_attempts(attempt, policy, sleep=sleeps.append)
+        assert result == 4
+        assert sleeps == [0.125, 0.25, 0.5]
+
+    def test_on_retry_fires_before_sleep(self):
+        policy = RetryPolicy(max_attempts=2, backoff_seconds=0.125)
+        order = []
+
+        def attempt(number):
+            if number == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        run_attempts(
+            attempt,
+            policy,
+            on_retry=lambda number, exc: order.append(("retry", number)),
+            sleep=lambda delay: order.append(("sleep", delay)),
+        )
+        assert order == [("retry", 2), ("sleep", 0.125)]
+
+    def test_no_sleep_after_final_failure(self):
+        policy = RetryPolicy(max_attempts=2, backoff_seconds=0.125)
+        sleeps = []
+
+        def attempt(number):
+            raise ValueError("always")
+
+        with pytest.raises(WorkerFailureError) as excinfo:
+            run_attempts(attempt, policy, label="doomed", sleep=sleeps.append)
+        # one retry -> exactly one backoff; the terminal failure does
+        # not sleep before raising
+        assert sleeps == [0.125]
+        assert excinfo.value.attempts == 2
+        assert "doomed" in str(excinfo.value)
+
+    def test_jitter_rng_threaded_through(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_seconds=1.0, jitter_fraction=0.5
+        )
+        sleeps = []
+
+        def attempt(number):
+            if number == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        run_attempts(
+            attempt, policy, sleep=sleeps.append, rng=DeterministicRng(7)
+        )
+        assert sleeps == [policy.backoff_delay(1, rng=DeterministicRng(7))]
