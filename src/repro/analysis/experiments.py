@@ -961,6 +961,7 @@ def tradeoff_sweep(
         payload["credits"] = list(config.credits)
         payload["window_cycles"] = window_cycles
         payload["label"] = label
+        payload["detect_seed"] = defaults.seed
         return payload
 
     shaped = [point_payload("cs", constant_rate_config(spec, cs_interval))]
@@ -976,16 +977,118 @@ def tradeoff_sweep(
     )
 
     base_times = _event_times(base["gaps"])
+    anchor_mi = windowed_rate_mi(
+        base_times, base_times, window_cycles, base["cycles_run"],
+        bias_correction=True,
+    )
+    # The anchor's zoo scores use the same estimator configuration as
+    # every shaped point (the comparability rule again): the observed
+    # stream is the intrinsic one, tested against the reference
+    # staircase at the program's own rate — the distribution the
+    # shaped points are moving toward.
+    from repro.security.detect import detect_report
+
+    anchor_zoo = detect_report(
+        label="no-shaping",
+        intrinsic_gaps=base["gaps"],
+        observed_gaps=base["gaps"],
+        spec=spec,
+        target_frequencies=staircase_config(spec, base_rate).normalized(),
+        seed=defaults.seed,
+        window_cycles=window_cycles,
+        mi_bits=anchor_mi,
+    )
     no_shaping = {
         "label": "no-shaping",
         "ipc": base["ipc"],
-        "mi": windowed_rate_mi(
-            base_times, base_times, window_cycles, base["cycles_run"],
-            bias_correction=True,
-        ),
+        "mi": anchor_mi,
+        "auc": anchor_zoo.auc,
+        "auc_logistic": anchor_zoo.auc_logistic,
+        "auc_stumps": anchor_zoo.auc_stumps,
+        "xcorr": anchor_zoo.xcorr,
+        "spectral": anchor_zoo.spectral,
         "digest": base["digest"],
     }
     return [shaped_points[0], no_shaping] + shaped_points[1:]
+
+
+def detect_suite(
+    benchmark: str = "apache",
+    defaults: ExperimentDefaults = ExperimentDefaults(),
+    scales: Sequence[float] = (0.8, 1.2),
+    window_cycles: int = 2048,
+    replenish_period: int = 512,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    executor=None,
+) -> Dict[str, object]:
+    """The attacker zoo over a canned config ladder (``repro detect``).
+
+    Scores three rungs against the detectability lab
+    (:mod:`repro.security.detect`): the unshaped stream (the
+    covert-channel worst case — every attacker should win), the CS
+    anchor, and Camouflage staircases at each bandwidth ``scale``.
+    Every rung's classifiers test the observed stream against that
+    rung's *own* target distribution (the unshaped rung uses the
+    reference staircase at the program's rate — the distribution
+    shaping would have imposed).
+
+    The returned document — rows of label / ipc / mi / auc / xcorr /
+    spectral plus per-rung report digests and one suite digest — is a
+    pure function of ``(benchmark, defaults, scales, window)``:
+    byte-identical across repeated runs and across ``jobs`` values.
+    """
+    from repro.common.util import canonical_json_digest
+    from repro.parallel.tasks import (
+        alone_base_task,
+        detect_point_task,
+        make_run_payload,
+    )
+
+    spec = BinSpec(
+        edges=defaults.spec.edges, replenish_period=replenish_period
+    )
+    runner = _resolve_executor(executor, jobs, cache_dir, defaults.seed)
+    [base] = runner.map(
+        alone_base_task, [make_run_payload(benchmark, defaults)],
+        kind="alone-base", labels=[f"{benchmark}:base"],
+    )
+    base_rate = len(base["gaps"]) / max(1, base["cycles_run"])
+    cs_interval = constant_rate_interval_for(
+        spec, 1.0 / max(base_rate, 1e-9), context=f"detect:{benchmark}"
+    )
+    reference = staircase_config(spec, base_rate)
+
+    def payload(label: str, config: Optional[BinConfiguration],
+                target: BinConfiguration) -> Dict:
+        doc = make_run_payload(benchmark, defaults, spec=spec)
+        doc["label"] = label
+        doc["credits"] = None if config is None else list(config.credits)
+        doc["target_credits"] = list(target.credits)
+        doc["window_cycles"] = window_cycles
+        doc["detect_seed"] = defaults.seed
+        return doc
+
+    payloads = [
+        payload("no-shaping", None, reference),
+        payload("cs", constant_rate_config(spec, cs_interval),
+                constant_rate_config(spec, cs_interval)),
+    ]
+    for scale in scales:
+        config = staircase_config(spec, base_rate * scale)
+        payloads.append(payload(f"camo-x{scale}", config, config))
+    rows = runner.map(
+        detect_point_task, payloads, kind="detect-point",
+        labels=[p["label"] for p in payloads],
+    )
+    doc: Dict[str, object] = {
+        "benchmark": benchmark,
+        "window_cycles": window_cycles,
+        "seed": defaults.seed,
+        "rows": rows,
+    }
+    doc["digest"] = canonical_json_digest(doc)
+    return doc
 
 
 def scalability_experiment(
@@ -1054,6 +1157,10 @@ def scalability_experiment(
                     str(core): {"credits": camo_credits}
                     for core in range(n)
                 },
+                # Zoo-score core 0's shaped stream in every Camouflage
+                # mix: detectability must stay flat as domains scale,
+                # or per-core shaping only looks scalable.
+                detect={"core": 0, "seed": defaults.seed},
             )
         )
         labels.append(f"camo:n{n}")
@@ -1068,6 +1175,9 @@ def scalability_experiment(
             "frfcfs": frfcfs["slowdown"],
             "tp": tp["slowdown"],
             "camouflage": camo["slowdown"],
+            "camouflage_mi": camo["mi"],
+            "camouflage_auc": camo["auc"],
+            "camouflage_xcorr": camo["xcorr"],
         }
     return results
 

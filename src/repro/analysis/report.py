@@ -37,6 +37,7 @@ _SECTIONS = [
     ("ablation_baseline_params", "Ablation — baseline parameter sweeps"),
     ("scalability_domains", "Scalability — TP vs domain count"),
     ("mesh_position", "Mesh NoC — position-dependent leakage"),
+    ("detect_zoo", "Attacker zoo — detectability lab (MI / AUC / XCorr)"),
 ]
 
 

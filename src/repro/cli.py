@@ -47,6 +47,7 @@ _EXPERIMENTS = {
     "covert": "Algorithm-1 covert channel attack (Figs 14/15)",
     "mi": "mutual-information table (section IV-B2)",
     "tradeoff": "security/performance sweep (Figure 2)",
+    "detect": "attacker-zoo detectability lab (MI / AUC / XCorr / spectral)",
     "calibrate": "measured workload characteristics (trace substitution)",
     "trace": "run a BDC-shaped mix with event tracing; export Chrome JSON",
     "stats": "run with metrics sampling and the live shaping monitor",
@@ -65,6 +66,7 @@ _EXPERIMENTS = {
 #: ``--jobs 1`` and ``--jobs N`` outputs can be byte-compared.
 _SWEEP_NAMES = (
     "tradeoff",
+    "detect",
     "scalability",
     "tp-turn",
     "fs-interval",
@@ -203,16 +205,42 @@ def _cmd_tradeoff(args) -> int:
         jobs=args.jobs, cache_dir=args.cache_dir,
     )
     print(format_table(
-        ["config", "ipc", "mi_bits", "digest"],
-        [[p["label"], p["ipc"], p["mi"], p["digest"]] for p in points],
+        ["config", "ipc", "mi_bits", "auc", "xcorr", "spectral", "digest"],
+        [
+            [p["label"], p["ipc"], p["mi"], p["auc"], p["xcorr"],
+             p["spectral"], p["digest"]]
+            for p in points
+        ],
     ))
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    import json as json_module
+
+    from repro.analysis.experiments import detect_suite
+    from repro.common.util import canonical_doc
+
+    doc = detect_suite(
+        args.benchmark, _defaults(args),
+        jobs=args.jobs, cache_dir=args.cache_dir,
+    )
+    # Canonical JSON on stdout: repeated runs and different --jobs
+    # values must byte-compare (the CI detect-smoke check); chatter
+    # stays on stderr.
+    text = json_module.dumps(canonical_doc(doc), sort_keys=True, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"detect report written to {args.out}", file=sys.stderr)
     return 0
 
 
 def _cmd_sweep(args) -> int:
     import json as json_module
 
-    from repro.analysis.experiments import scalability_experiment
+    from repro.analysis.experiments import detect_suite, scalability_experiment
     from repro.analysis.sweeps import (
         fs_interval_sweep,
         mesh_position_leakage,
@@ -251,6 +279,9 @@ def _cmd_sweep(args) -> int:
               file=sys.stderr)
     drivers = {
         "tradeoff": lambda: tradeoff_sweep(
+            args.benchmark or "apache", defaults, executor=executor
+        ),
+        "detect": lambda: detect_suite(
             args.benchmark or "apache", defaults, executor=executor
         ),
         "scalability": lambda: scalability_experiment(
@@ -505,20 +536,25 @@ def _cmd_stats(args) -> int:
     monitor = obs.monitor
     rows = monitor.summary_rows()
     if rows:
+        headers = ["core", "direction", "events", "tvd_target",
+                   "tvd_intrinsic", "mi_bits"]
+        if monitor.detect:
+            headers += ["auc", "xcorr"]
         print("\nshaping monitor (latest checkpoint per stream):")
-        print(format_table(
-            ["core", "direction", "events", "tvd_target", "tvd_intrinsic",
-             "mi_bits"],
-            rows,
-        ))
-    if monitor.violations:
-        worst = max(monitor.violations, key=lambda v: v.tvd_target)
-        print(f"{len(monitor.violations)} guarantee violation(s); worst: "
+        print(format_table(headers, rows))
+    all_violations = monitor.violations + monitor.final_violations
+    if all_violations:
+        worst = max(all_violations, key=lambda v: v.tvd_target)
+        print(f"{len(all_violations)} guarantee violation(s); worst: "
               f"core {worst.core_id} {worst.direction} "
               f"TVD={worst.tvd_target:.4f} > {worst.threshold} "
               f"at cycle {worst.cycle}")
     else:
         print("no shaping-guarantee violations")
+    detect_total = monitor.detect_violation_count
+    if detect_total:
+        print(f"{detect_total} detectability violation(s) "
+              "(zoo attacker beat its threshold)")
     return 0
 
 
@@ -853,6 +889,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="content-addressed result cache directory")
 
+    p = sub.add_parser("detect", help=_EXPERIMENTS["detect"])
+    p.add_argument("--benchmark", default="apache", choices=BENCHMARK_NAMES)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the suite rungs")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache directory")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the canonical DetectReport JSON here")
+
     p = sub.add_parser("sweep", help=_EXPERIMENTS["sweep"])
     p.add_argument("name", choices=_SWEEP_NAMES,
                    help="which sweep to run")
@@ -1074,6 +1119,7 @@ _HANDLERS = {
     "covert": _cmd_covert,
     "mi": _cmd_mi,
     "tradeoff": _cmd_tradeoff,
+    "detect": _cmd_detect,
     "calibrate": _cmd_calibrate,
     "trace": _cmd_trace,
     "stats": _cmd_stats,

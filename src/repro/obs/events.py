@@ -42,6 +42,9 @@ CATEGORY_ANALYSIS = "analysis"
 #: degradation to local execution.  Like ``parallel``, stamped with
 #: the shard's submission index rather than a simulation cycle.
 CATEGORY_DISPATCH = "dispatch"
+#: Detectability-lab events: zoo-attacker (AUC / XCorr) threshold
+#: breaches flagged at monitor checkpoints.
+CATEGORY_DETECT = "detect"
 
 ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_SHAPER,
@@ -53,6 +56,7 @@ ALL_CATEGORIES: Tuple[str, ...] = (
     CATEGORY_PARALLEL,
     CATEGORY_ANALYSIS,
     CATEGORY_DISPATCH,
+    CATEGORY_DETECT,
 )
 
 #: ``core_id`` used by events not attributable to a single core

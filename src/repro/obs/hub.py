@@ -54,6 +54,13 @@ class ObservabilityConfig:
     monitor_tvd_threshold: float = 0.25
     monitor_min_events: int = 32
     monitor_mi_window: int = 4096
+    monitor_detect: bool = False
+    monitor_detect_window: int = 256
+    monitor_detect_min_pairs: int = 32
+    monitor_auc_threshold: float = 0.8
+    monitor_xcorr_threshold: float = 0.9
+    monitor_detect_seed: int = 0
+    monitor_final_min_pairs: int = 8
     noc_grant_trace_limit: Optional[int] = None
     profile: bool = False
 
@@ -103,6 +110,13 @@ class Observability:
                 min_events=self.config.monitor_min_events,
                 mi_window=self.config.monitor_mi_window,
                 tracer=self.tracer,
+                detect=self.config.monitor_detect,
+                detect_window=self.config.monitor_detect_window,
+                detect_min_pairs=self.config.monitor_detect_min_pairs,
+                auc_threshold=self.config.monitor_auc_threshold,
+                xcorr_threshold=self.config.monitor_xcorr_threshold,
+                detect_seed=self.config.monitor_detect_seed,
+                final_min_pairs=self.config.monitor_final_min_pairs,
             )
             if self.config.monitor
             else None
@@ -150,6 +164,13 @@ class Observability:
         if self.publisher is not None:
             self.publisher.fill(up_to_cycle)
 
+    def on_run_end(self, cycle: int) -> None:
+        """The run loop finished at ``cycle``; evaluate the monitor's
+        final partial window (overwrite semantics — safe to call again
+        after a resumed continuation, see ShapingMonitor.finalize)."""
+        if self.monitor is not None:
+            self.monitor.finalize(cycle)
+
     # -- export (serve publisher / repro profile) ---------------------------
 
     def refresh_derived_gauges(self, at_cycle: int) -> None:
@@ -183,7 +204,7 @@ class Observability:
         monitor = self.monitor
         streams = []
         for stream in monitor._streams:
-            sample = monitor.latest(stream.core_id, stream.direction)
+            sample = monitor._display_sample(stream.core_id, stream.direction)
             if sample is None:
                 continue
             streams.append({
@@ -194,10 +215,14 @@ class Observability:
                 "tvd_target": sample.tvd_target,
                 "tvd_intrinsic": sample.tvd_intrinsic,
                 "mi_bits": sample.mi_bits,
+                "mi_degenerate": sample.mi_degenerate,
+                "auc": sample.auc,
+                "xcorr": sample.xcorr,
             })
         return {
             "enabled": True,
             "checkpoints": len(monitor.history),
+            "detect": monitor.detect,
             "streams": streams,
             "violations": [
                 {
@@ -208,7 +233,21 @@ class Observability:
                     "threshold": v.threshold,
                     "events_observed": v.events_observed,
                 }
-                for v in monitor.violations
+                for v in monitor.violations + monitor.final_violations
+            ],
+            "detect_violations": [
+                {
+                    "cycle": v.cycle,
+                    "core_id": v.core_id,
+                    "direction": v.direction,
+                    "metric": v.metric,
+                    "value": v.value,
+                    "threshold": v.threshold,
+                }
+                for v in (
+                    monitor.detect_violations
+                    + monitor.final_detect_violations
+                )
             ],
             "degradations": [
                 {
@@ -258,6 +297,7 @@ class Observability:
         if self.monitor is not None:
             out["monitor"] = {
                 "checkpoints": len(self.monitor.history),
-                "violations": len(self.monitor.violations),
+                "violations": self.monitor.violation_count,
+                "detect_violations": self.monitor.detect_violation_count,
             }
         return out

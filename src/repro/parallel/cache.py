@@ -42,7 +42,10 @@ from repro.common.util import canonical_doc, canonical_json_digest
 from repro.resilience.snapshot import atomic_write_bytes
 
 #: Bump when the entry layout changes; folded into every key digest.
-CACHE_SCHEMA = 1
+#: 2: tradeoff/mix/GA task results grew detectability-lab fields
+#: (auc / xcorr / spectral) — stale schema-1 entries must not satisfy
+#: sweeps that expect the new columns.
+CACHE_SCHEMA = 2
 
 #: Hex digits of the key digest (64 = full SHA-256).
 DIGEST_LENGTH = 40

@@ -168,14 +168,17 @@ def tradeoff_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """One shaped point of the Figure 2 trade-off sweep.
 
     Runs the benchmark alone under the payload's credit configuration
-    and reports IPC plus the windowed-rate MI between the intrinsic
-    and shaped request streams.  ``bias_correction`` is always on —
-    every point of the sweep, anchors included, must use one estimator
-    configuration or the curve is not mutually comparable (the
-    ISSUE-5 anchor bug).
+    and reports IPC plus the full detectability-lab score set — the
+    windowed-rate MI between the intrinsic and shaped request streams
+    and the zoo's AUC / XCorr / spectral probes against the
+    configuration's own target distribution.  ``bias_correction`` is
+    always on — every point of the sweep, anchors included, must use
+    one estimator configuration or the curve is not mutually
+    comparable (the ISSUE-5 anchor bug).
     """
     from repro.analysis.experiments import run_alone
     from repro.core.bins import BinConfiguration
+    from repro.security.detect import detect_report
     from repro.security.mutual_information import windowed_rate_mi
     from repro.sim.stats import report_digest
     from repro.sim.system import RequestShapingPlan
@@ -194,10 +197,80 @@ def tradeoff_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         report.cycles_run,
         bias_correction=True,
     )
+    zoo = detect_report(
+        label=str(payload["label"]),
+        intrinsic_gaps=stats.request_intrinsic.gaps,
+        observed_gaps=stats.request_shaped.gaps,
+        spec=spec,
+        target_frequencies=config.normalized(),
+        seed=int(payload.get("detect_seed", payload["seed"])),
+        window_cycles=int(payload["window_cycles"]),
+        mi_bits=mi,
+    )
     return {
         "label": payload["label"],
         "ipc": stats.ipc,
         "mi": mi,
+        "auc": zoo.auc,
+        "auc_logistic": zoo.auc_logistic,
+        "auc_stumps": zoo.auc_stumps,
+        "xcorr": zoo.xcorr,
+        "spectral": zoo.spectral,
+        "digest": report_digest(report),
+        "obs_registry": _registry_doc(report),
+    }
+
+
+def detect_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One configuration of the attacker-zoo detectability suite.
+
+    With ``payload["credits"]`` the benchmark runs under that shaping
+    configuration; without it the run is unshaped (the observed stream
+    IS the intrinsic one — the covert-channel worst case).
+    ``payload["target_credits"]`` is always present: the distribution
+    the zoo's classifiers test the observed stream against.
+    """
+    from repro.analysis.experiments import run_alone
+    from repro.core.bins import BinConfiguration
+    from repro.security.detect import detect_report
+    from repro.sim.stats import report_digest
+    from repro.sim.system import RequestShapingPlan
+
+    defaults, spec = _defaults_from(payload)
+    plan = None
+    if payload.get("credits") is not None:
+        plan = RequestShapingPlan(
+            config=BinConfiguration(tuple(payload["credits"])), spec=spec
+        )
+    report = run_alone(payload["benchmark"], defaults, request_plan=plan)
+    stats = report.core(0)
+    observed_gaps = (
+        stats.request_shaped.gaps if plan is not None
+        else stats.request_intrinsic.gaps
+    )
+    target = BinConfiguration(
+        tuple(payload["target_credits"])
+    ).normalized()
+    zoo = detect_report(
+        label=str(payload["label"]),
+        intrinsic_gaps=stats.request_intrinsic.gaps,
+        observed_gaps=observed_gaps,
+        spec=spec,
+        target_frequencies=target,
+        seed=int(payload.get("detect_seed", payload["seed"])),
+        window_cycles=int(payload["window_cycles"]),
+    )
+    return {
+        "label": payload["label"],
+        "ipc": stats.ipc,
+        "mi": zoo.mi_bits,
+        "auc": zoo.auc,
+        "auc_logistic": zoo.auc_logistic,
+        "auc_stumps": zoo.auc_stumps,
+        "xcorr": zoo.xcorr,
+        "spectral": zoo.spectral,
+        "segments": zoo.segments,
+        "report_digest": zoo.digest(),
         "digest": report_digest(report),
         "obs_registry": _registry_doc(report),
     }
@@ -216,7 +289,10 @@ def mix_slowdown_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     optional ``request_plans`` (core-id string -> credit list) installs
     per-core Camouflage shapers, and ``alone_ipcs`` provides the
     slowdown denominators.  ``slip_fraction`` is included when the
-    scheduler exposes one (the FS leak proxy).
+    scheduler exposes one (the FS leak proxy).  Optional
+    ``payload["detect"]`` (``{"core": K, "seed": S}``) scores core K's
+    request streams against the zoo; requires a ``request_plans``
+    entry for that core (its credits are the target distribution).
     """
     from repro.analysis.experiments import (
         ExperimentDefaults,  # noqa: F401 — via _defaults_from
@@ -256,6 +332,28 @@ def mix_slowdown_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     slip = getattr(system.scheduler, "slip_fraction", None)
     if callable(slip):
         result["slip_fraction"] = slip()
+    if payload.get("detect"):
+        from repro.security.detect import detect_report
+
+        detect_cfg = payload["detect"]
+        core_id = int(detect_cfg["core"])
+        stats = report.core(core_id)
+        target = BinConfiguration(tuple(
+            payload["request_plans"][str(core_id)]["credits"]
+        )).normalized()
+        zoo = detect_report(
+            label=f"core{core_id}",
+            intrinsic_gaps=stats.request_intrinsic.gaps,
+            observed_gaps=stats.request_shaped.gaps,
+            spec=spec,
+            target_frequencies=target,
+            seed=int(detect_cfg.get("seed", payload["seed"])),
+            window_cycles=detect_cfg.get("window_cycles"),
+        )
+        result["mi"] = zoo.mi_bits
+        result["auc"] = zoo.auc
+        result["xcorr"] = zoo.xcorr
+        result["spectral"] = zoo.spectral
     return result
 
 
@@ -354,18 +452,25 @@ def mesh_position_task(payload: Dict[str, Any]) -> Dict[str, Any]:
 def ga_fitness_task(
     payload: Dict[str, Any], task_seed: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Offline fitness of one genome: slowdown plus an MI leak penalty.
+    """Offline fitness of one genome: slowdown plus a leakage penalty.
 
     The genome (a credit vector) shapes the benchmark's requests; the
-    cost is ``slowdown + mi_weight * windowed_mi`` — the Figure 2
+    cost is ``slowdown + zoo_score(mi, auc, xcorr)`` — the Figure 2
     trade-off collapsed to a scalar, which is what the offline GA
     minimises when searching shaping configurations without a live
-    system.  ``task_seed`` (the executor's per-genome substream seed)
-    seeds the evaluation run when the payload does not pin one, so
-    every genome is scored on a decorrelated, reproducible stream.
+    system.  With the default weights (``mi_weight=1``, ``auc_weight``
+    and ``xcorr_weight`` 0) this is exactly the historical
+    ``slowdown + mi_weight * windowed_mi``; non-zero zoo weights turn
+    the fitness multi-objective, scoring each genome against the
+    trained-classifier and cross-correlation attackers with the
+    genome's own normalized credits as the target distribution.
+    ``task_seed`` (the executor's per-genome substream seed) seeds the
+    evaluation run when the payload does not pin one, so every genome
+    is scored on a decorrelated, reproducible stream.
     """
     from repro.analysis.experiments import ExperimentDefaults, run_alone
     from repro.core.bins import BinConfiguration, BinSpec
+    from repro.security.detect import detect_report, zoo_score
     from repro.security.mutual_information import windowed_rate_mi
     from repro.sim.stats import report_digest
     from repro.sim.system import RequestShapingPlan
@@ -398,14 +503,36 @@ def ga_fitness_task(
         report.cycles_run,
         bias_correction=True,
     )
-    fitness = slowdown + float(payload.get("mi_weight", 1.0)) * mi
-    return {
-        "fitness": fitness,
+    auc_weight = float(payload.get("auc_weight", 0.0))
+    xcorr_weight = float(payload.get("xcorr_weight", 0.0))
+    result: Dict[str, Any] = {
         "slowdown": slowdown,
         "mi": mi,
         "digest": report_digest(report),
         "obs_registry": _registry_doc(report),
     }
+    auc = xcorr = 0.0
+    if auc_weight > 0.0 or xcorr_weight > 0.0:
+        zoo = detect_report(
+            label="genome",
+            intrinsic_gaps=stats.request_intrinsic.gaps,
+            observed_gaps=stats.request_shaped.gaps,
+            spec=spec,
+            target_frequencies=config.normalized(),
+            seed=int(payload.get("detect_seed", seed)),
+            window_cycles=int(payload["window_cycles"]),
+            mi_bits=mi,
+        )
+        auc, xcorr = zoo.auc, zoo.xcorr
+        result["auc"] = auc
+        result["xcorr"] = xcorr
+    result["fitness"] = slowdown + zoo_score(
+        mi, auc, xcorr,
+        mi_weight=float(payload.get("mi_weight", 1.0)),
+        auc_weight=auc_weight,
+        xcorr_weight=xcorr_weight,
+    )
+    return result
 
 
 def ga_population_evaluator(executor, payload_base: Dict[str, Any]):

@@ -38,6 +38,15 @@ from repro.security.mutual_information import (
     mutual_information_bits,
     windowed_rate_mi,
 )
+from repro.security.detect import (
+    DetectReport,
+    classifier_aucs,
+    detect_report,
+    max_cross_correlation,
+    roc_auc,
+    spectral_peak_ratio,
+    zoo_score,
+)
 
 __all__ = [
     "accumulated_response_difference",
@@ -52,6 +61,13 @@ __all__ = [
     "decode_covert_key",
     "decode_covert_key_matched",
     "prober_trace",
+    "DetectReport",
+    "classifier_aucs",
+    "detect_report",
+    "max_cross_correlation",
+    "roc_auc",
+    "spectral_peak_ratio",
+    "zoo_score",
     "entropy_bits",
     "interarrival_mi",
     "mutual_information_bits",

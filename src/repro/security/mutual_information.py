@@ -105,13 +105,24 @@ def windowed_counts(
     timestamps: Sequence[int], window_cycles: int, num_windows: int,
     start_cycle: int = 0,
 ) -> np.ndarray:
-    """Event counts per fixed window (the bus prober's histogram)."""
+    """Event counts per fixed window (the bus prober's histogram).
+
+    Windows follow the half-open convention ``[start, start+w)`` with
+    the rightmost edge *closed*: a release landing exactly on
+    ``start_cycle + num_windows * window_cycles`` belongs to the last
+    window rather than being silently dropped (events strictly beyond
+    that edge remain outside the histogram).
+    """
     if window_cycles <= 0:
         raise ConfigurationError("window_cycles must be positive")
     if num_windows <= 0:
         raise ConfigurationError("num_windows must be positive")
     counts = np.zeros(num_windows, dtype=np.int64)
+    right_edge = start_cycle + num_windows * window_cycles
     for t in timestamps:
+        if t == right_edge:
+            counts[num_windows - 1] += 1
+            continue
         index = (t - start_cycle) // window_cycles
         if 0 <= index < num_windows:
             counts[index] += 1

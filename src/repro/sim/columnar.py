@@ -492,4 +492,6 @@ class ColumnarEngine:
         finally:
             if prof is not None:
                 prof.end_run(sys_.current_cycle)
+        if obs is not None:
+            obs.on_run_end(sys_.current_cycle)
         return sys_.report()

@@ -1047,6 +1047,8 @@ class System:
         finally:
             if prof is not None:
                 prof.end_run(self.current_cycle)
+        if self.observability is not None:
+            self.observability.on_run_end(self.current_cycle)
         return self.report()
 
     # -- reporting ------------------------------------------------------------------

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -90,6 +92,34 @@ class TestCommands:
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "digest" in out and "no-shaping" in out
+
+    def test_tradeoff_prints_zoo_columns(self, capsys, tmp_path):
+        assert main(["--scale", "0.1", "tradeoff",
+                     "--benchmark", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "auc" in out and "xcorr" in out and "spectral" in out
+
+    def test_detect_repeated_runs_byte_identical(self, capsys, tmp_path):
+        # The CI detect-smoke contract: canonical JSON on stdout, the
+        # same bytes (digest included) on every run and any --jobs.
+        assert main(["--scale", "0.2", "detect",
+                     "--benchmark", "apache", "--jobs", "1"]) == 0
+        out_1 = capsys.readouterr().out
+        assert main(["--scale", "0.2", "detect",
+                     "--benchmark", "apache", "--jobs", "2"]) == 0
+        out_2 = capsys.readouterr().out
+        assert out_1 == out_2
+        doc = json.loads(out_1)
+        assert doc["benchmark"] == "apache"
+        assert "digest" in doc
+        assert [row["label"] for row in doc["rows"]][0] == "no-shaping"
+
+    def test_detect_writes_report_file(self, capsys, tmp_path):
+        out_path = tmp_path / "detect.json"
+        assert main(["--scale", "0.2", "detect", "--benchmark", "apache",
+                     "--out", str(out_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert json.loads(out_path.read_text()) == json.loads(stdout)
 
 
 class TestCalibrate:

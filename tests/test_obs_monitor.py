@@ -165,3 +165,182 @@ class TestCheckpoints:
         rows = monitor.summary_rows()
         assert [row[1] for row in rows] == ["request", "response"]
         assert rows[1][3] == "-"  # no target → no guarantee column
+
+
+def _record_pair(intrinsic, shaped, start, gap, events):
+    """Append ``events`` constant-gap releases to both histograms."""
+    for i in range(1, events + 1):
+        intrinsic.record(start + i * gap)
+        shaped.record(start + i * gap)
+    return start + events * gap
+
+
+def _mirrored_pair(events=128):
+    """A leaky 'shaper' echoing an alternating 5/400 gap stream."""
+    intrinsic = InterArrivalHistogram(SPEC)
+    shaped = InterArrivalHistogram(SPEC)
+    timestamp = 0
+    for i in range(events):
+        timestamp += 5 if i % 2 == 0 else 400
+        intrinsic.record(timestamp)
+        shaped.record(timestamp)
+    return intrinsic, shaped
+
+
+class TestFinalize:
+    """The run-end partial window the periodic schedule never reaches."""
+
+    def test_final_tail_violation_is_counted(self):
+        # Regression: releases after the last periodic checkpoint were
+        # never evaluated, so a divergent tail shorter than the check
+        # interval escaped flagging entirely.
+        monitor = ShapingMonitor(interval=100, tvd_threshold=0.25,
+                                 min_events=8)
+        intrinsic, shaped = _uniform_pair(gap=10, events=64)
+        monitor.watch(0, "request", intrinsic, shaped,
+                      target_frequencies=_target_for_constant_gap(200))
+        for cycle in range(101):
+            monitor.advance(cycle)
+        assert len(monitor.violations) == 1
+        _record_pair(intrinsic, shaped, start=64 * 10, gap=10, events=16)
+        monitor.finalize(150)
+        assert len(monitor.final_samples) == 1
+        assert monitor.final_samples[0].cycle == 150
+        assert len(monitor.final_violations) == 1
+        assert monitor.violation_count == 2
+
+    def test_small_tail_skipped(self):
+        # Below final_min_pairs the estimators cannot support a verdict.
+        monitor = ShapingMonitor(interval=100, min_events=8,
+                                 final_min_pairs=8)
+        intrinsic, shaped = _uniform_pair(gap=10, events=64)
+        monitor.watch(0, "request", intrinsic, shaped,
+                      target_frequencies=_target_for_constant_gap(200))
+        monitor.advance(100)
+        _record_pair(intrinsic, shaped, start=64 * 10, gap=10, events=4)
+        monitor.finalize(150)
+        assert monitor.final_samples == []
+        assert monitor.final_violations == []
+
+    def test_finalize_overwrites_instead_of_appending(self):
+        # A run finalized at a snapshot cut and re-finalized at the
+        # true end must converge to the straight run's state.
+        monitor = ShapingMonitor(interval=100, min_events=8)
+        intrinsic, shaped = _uniform_pair(gap=10, events=64)
+        monitor.watch(0, "request", intrinsic, shaped,
+                      target_frequencies=_target_for_constant_gap(200))
+        monitor.advance(100)
+        _record_pair(intrinsic, shaped, start=64 * 10, gap=10, events=16)
+        monitor.finalize(150)
+        first = list(monitor.final_violations)
+        monitor.finalize(150)
+        assert monitor.final_violations == first
+        assert len(monitor.final_samples) == 1
+
+    def test_finalize_emits_no_trace_events(self):
+        tracer = EventTracer()
+        monitor = ShapingMonitor(interval=100, min_events=8,
+                                 tracer=tracer)
+        intrinsic, shaped = _uniform_pair(gap=10, events=64)
+        monitor.watch(0, "request", intrinsic, shaped,
+                      target_frequencies=_target_for_constant_gap(200))
+        monitor.advance(100)
+        before = len(tracer.events)
+        _record_pair(intrinsic, shaped, start=64 * 10, gap=10, events=16)
+        monitor.finalize(150)
+        assert len(tracer.events) == before
+
+    def test_degenerate_window_reports_insufficient_support(self):
+        # A window collapsed into one bin gives a vacuous MI of 0.0;
+        # the summary must not present that as evidence of no leakage.
+        monitor = ShapingMonitor(interval=100, min_events=1)
+        intrinsic, shaped = _uniform_pair(gap=10)
+        monitor.watch(0, "request", intrinsic, shaped)
+        monitor.advance(100)
+        sample = monitor.latest(0, "request")
+        assert sample.mi_degenerate
+        assert sample.mi_bits == pytest.approx(0.0)
+        assert monitor.summary_rows()[0][5] == "insufficient_support"
+
+    def test_mixed_bins_are_not_degenerate(self):
+        intrinsic, shaped = _mirrored_pair()
+        monitor = ShapingMonitor(interval=100, min_events=1)
+        monitor.watch(0, "request", intrinsic, shaped)
+        monitor.advance(100)
+        sample = monitor.latest(0, "request")
+        assert not sample.mi_degenerate
+        assert monitor.summary_rows()[0][5] != "insufficient_support"
+
+
+class TestDetectChecks:
+    @pytest.mark.parametrize("kwargs", [
+        {"detect_window": 1},
+        {"detect_min_pairs": 0},
+        {"auc_threshold": 1.5},
+        {"xcorr_threshold": -0.1},
+        {"final_min_pairs": 1},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ShapingMonitor(**kwargs)
+
+    def test_detect_columns_appended_only_when_enabled(self):
+        intrinsic, shaped = _mirrored_pair()
+        plain = ShapingMonitor(interval=100, min_events=1)
+        plain.watch(0, "request", intrinsic, shaped)
+        plain.advance(100)
+        assert len(plain.summary_rows()[0]) == 6
+
+        zoo = ShapingMonitor(interval=100, min_events=1, detect=True,
+                             detect_min_pairs=16)
+        zoo.watch(0, "request", intrinsic, shaped)
+        zoo.advance(100)
+        row = zoo.summary_rows()[0]
+        assert len(row) == 8
+        assert row[7] != "-"  # xcorr runs even without a target
+
+    def test_xcorr_attacker_flags_mirrored_stream(self):
+        intrinsic, shaped = _mirrored_pair()
+        monitor = ShapingMonitor(interval=100, min_events=1, detect=True,
+                                 detect_min_pairs=16, xcorr_threshold=0.5)
+        monitor.watch(0, "request", intrinsic, shaped)
+        monitor.advance(100)
+        sample = monitor.latest(0, "request")
+        assert sample.xcorr is not None and sample.xcorr > 0.5
+        assert any(v.metric == "xcorr" for v in monitor.detect_violations)
+        assert monitor.detect_violation_count >= 1
+
+    def test_detect_violation_emits_trace_event(self):
+        tracer = EventTracer()
+        intrinsic, shaped = _mirrored_pair()
+        monitor = ShapingMonitor(interval=100, min_events=1, detect=True,
+                                 detect_min_pairs=16, xcorr_threshold=0.5,
+                                 tracer=tracer)
+        monitor.watch(2, "request", intrinsic, shaped)
+        monitor.advance(100)
+        events = tracer.events_in("detect")
+        assert events and events[0].name == "detect.violation"
+        assert events[0].core_id == 2
+        assert events[0].args_dict["metric"] == "xcorr"
+
+    def test_below_min_pairs_abstains(self):
+        intrinsic, shaped = _mirrored_pair(events=16)
+        monitor = ShapingMonitor(interval=100, min_events=1, detect=True,
+                                 detect_min_pairs=64)
+        monitor.watch(0, "request", intrinsic, shaped)
+        monitor.advance(100)
+        sample = monitor.latest(0, "request")
+        assert sample.auc is None and sample.xcorr is None
+        assert monitor.detect_violations == []
+
+    def test_detect_scores_deterministic(self):
+        def run():
+            intrinsic, shaped = _mirrored_pair()
+            monitor = ShapingMonitor(interval=100, min_events=1,
+                                     detect=True, detect_min_pairs=16,
+                                     detect_seed=9)
+            monitor.watch(0, "request", intrinsic, shaped)
+            monitor.advance(300)
+            return monitor.history
+
+        assert run() == run()

@@ -1,0 +1,351 @@
+"""Tests for the detectability lab (the attacker zoo).
+
+Covers the estimator bug fixes this lab was built to catch — the
+histogram right-edge clamp and the bias-correction policy in the
+windowed MI — plus the zoo itself: ROC/AUC plumbing, classifier
+determinism, the correlation/spectral probes, report digests, and the
+end-to-end covert-channel claim (an unshaped sender is trivially
+detectable; the shaped stream carries almost none of the secret).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentDefaults,
+    detect_suite,
+    staircase_config,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.util import canonical_doc
+from repro.core.bins import BinSpec
+from repro.security.detect import (
+    FEATURE_NAMES,
+    classifier_aucs,
+    detect_report,
+    max_cross_correlation,
+    quantize_gaps,
+    roc_auc,
+    sample_target_gaps,
+    segment_features,
+    spectral_peak_ratio,
+    windowed_detect_scores,
+    zoo_score,
+)
+from repro.security.mutual_information import windowed_counts, windowed_rate_mi
+from repro.sim.system import RequestShapingPlan, SystemBuilder
+from repro.workloads.covert import (
+    CovertChannelConfig,
+    covert_sender_trace,
+    key_to_bits,
+)
+
+SPEC = BinSpec()
+
+
+# ---------------------------------------------------------------------------
+# satellite fixes: histogram edge handling / bias-correction policy
+# ---------------------------------------------------------------------------
+
+
+class TestWindowedCountsEdges:
+    def test_sample_on_rightmost_edge_lands_in_last_bin(self):
+        # Regression: an event exactly on start + num_windows * window
+        # used to be silently dropped by the half-open convention.
+        counts = windowed_counts([1000], 100, 10)
+        assert counts[-1] == 1
+        assert counts.sum() == 1
+
+    def test_sample_beyond_rightmost_edge_still_dropped(self):
+        counts = windowed_counts([1001], 100, 10)
+        assert counts.sum() == 0
+
+    def test_interior_events_unchanged(self):
+        counts = windowed_counts([0, 99, 100, 950], 100, 10)
+        assert counts[0] == 2 and counts[1] == 1 and counts[9] == 1
+
+    def test_start_cycle_offset(self):
+        counts = windowed_counts([1500], 100, 10, start_cycle=500)
+        assert counts[-1] == 1
+
+    def test_bias_correction_reduces_windowed_mi(self):
+        # The sweep policy is bias_correction=True; the Miller–Madow
+        # term must actually be applied in the windowed path.
+        rng = DeterministicRng(3)
+        times_x = np.cumsum([rng.randint(1, 64) for _ in range(256)])
+        times_y = np.cumsum([rng.randint(1, 64) for _ in range(256)])
+        plain = windowed_rate_mi(list(times_x), list(times_y), 128, 8192)
+        corrected = windowed_rate_mi(
+            list(times_x), list(times_y), 128, 8192, bias_correction=True
+        )
+        assert corrected < plain
+
+
+# ---------------------------------------------------------------------------
+# ROC / classifiers
+# ---------------------------------------------------------------------------
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [0, 0, 1, 1]) == pytest.approx(1.0)
+
+    def test_inverted_separation(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [0, 0, 1, 1]) == pytest.approx(0.0)
+
+    def test_all_tied_scores(self):
+        assert roc_auc([0.5, 0.5, 0.5, 0.5], [0, 1, 0, 1]) == pytest.approx(0.5)
+
+    def test_empty_class_abstains(self):
+        assert roc_auc([0.1, 0.9], [1, 1]) == 0.5
+
+    def test_partial_overlap(self):
+        auc = roc_auc([0.1, 0.4, 0.35, 0.8], [0, 0, 1, 1])
+        assert 0.5 < auc < 1.0
+
+
+def _gaps_from_bins(bin_index, count, rng):
+    """Gaps drawn inside one bin's interval (noisy single-bin stream)."""
+    lo = SPEC.edges[bin_index]
+    hi = SPEC.edges[bin_index + 1] - 1
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+class TestClassifiers:
+    def test_separable_distributions_score_high(self):
+        rng = DeterministicRng(11)
+        positive = segment_features(_gaps_from_bins(2, 512, rng), SPEC)
+        negative = segment_features(_gaps_from_bins(6, 512, rng), SPEC)
+        out = classifier_aucs(positive, negative, DeterministicRng(5))
+        assert out["auc"] >= 0.95
+
+    def test_identical_distributions_score_near_half(self):
+        rng = DeterministicRng(11)
+        gaps = _gaps_from_bins(4, 1024, rng)
+        positive = segment_features(gaps[:512], SPEC)
+        negative = segment_features(gaps[512:], SPEC)
+        out = classifier_aucs(positive, negative, DeterministicRng(5))
+        assert out["auc"] <= 0.75
+
+    def test_too_few_segments_abstains(self):
+        rng = DeterministicRng(11)
+        tiny = segment_features(_gaps_from_bins(2, 48, rng), SPEC)
+        out = classifier_aucs(tiny, tiny, DeterministicRng(5))
+        assert out == {"logistic": 0.5, "stumps": 0.5, "auc": 0.5}
+
+    def test_feature_matrix_shape(self):
+        rng = DeterministicRng(11)
+        features = segment_features(_gaps_from_bins(3, 160, rng), SPEC)
+        assert features.shape == (10, len(FEATURE_NAMES))
+
+    def test_same_seed_same_aucs(self):
+        rng = DeterministicRng(11)
+        positive = segment_features(_gaps_from_bins(2, 512, rng), SPEC)
+        negative = segment_features(_gaps_from_bins(3, 512, rng), SPEC)
+        first = classifier_aucs(positive, negative, DeterministicRng(9))
+        second = classifier_aucs(positive, negative, DeterministicRng(9))
+        assert first == second
+
+
+class TestProbes:
+    def test_xcorr_identical_series(self):
+        series = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        assert max_cross_correlation(series, series) == pytest.approx(1.0)
+
+    def test_xcorr_lagged_copy(self):
+        series = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0]
+        assert max_cross_correlation(
+            series[2:], series[:-2]
+        ) == pytest.approx(1.0)
+
+    def test_xcorr_constant_series_is_zero(self):
+        assert max_cross_correlation([5.0] * 16, [1.0, 2.0] * 8) == 0.0
+
+    def test_xcorr_never_exceeds_one(self):
+        rng = DeterministicRng(2)
+        series = [rng.random() for _ in range(64)]
+        assert max_cross_correlation(series, series) <= 1.0
+
+    def test_spectral_tone_dominates(self):
+        tone = [np.sin(2 * np.pi * k / 8.0) for k in range(64)]
+        assert spectral_peak_ratio(tone) > 100.0
+
+    def test_spectral_degenerate_inputs(self):
+        assert spectral_peak_ratio([1.0] * 64) == 1.0
+        assert spectral_peak_ratio([1.0, 2.0]) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# reports, determinism and the GA scalarization
+# ---------------------------------------------------------------------------
+
+
+def _noisy_gaps(count, rng):
+    return [rng.randint(1, 400) for _ in range(count)]
+
+
+class TestDetectReport:
+    def test_digest_stable_across_runs(self):
+        rng = DeterministicRng(17)
+        intrinsic = _noisy_gaps(600, rng)
+        observed = _noisy_gaps(600, rng)
+        target = staircase_config(SPEC, 0.027).normalized()
+        first = detect_report("x", intrinsic, observed, SPEC, target, seed=5)
+        second = detect_report("x", intrinsic, observed, SPEC, target, seed=5)
+        assert first == second
+        assert first.as_doc() == second.as_doc()
+
+    def test_quantize_gaps_snaps_to_lower_edges(self):
+        gaps = [1, 3, 7, 900]
+        snapped = quantize_gaps(gaps, SPEC)
+        assert snapped == [SPEC.edges[SPEC.bin_of(g)] for g in gaps]
+
+    def test_sample_target_gaps_deterministic_and_on_edges(self):
+        target = staircase_config(SPEC, 0.027).normalized()
+        first = sample_target_gaps(SPEC, target, 128, DeterministicRng(3))
+        second = sample_target_gaps(SPEC, target, 128, DeterministicRng(3))
+        assert first == second
+        assert set(first) <= set(SPEC.edges)
+
+    def test_windowed_scores_abstain_without_target(self):
+        rng = DeterministicRng(17)
+        gaps = _noisy_gaps(600, rng)
+        auc, xcorr = windowed_detect_scores(
+            gaps, gaps, SPEC, None, DeterministicRng(1)
+        )
+        assert auc is None
+        assert xcorr == pytest.approx(1.0)
+
+    def test_zoo_score_default_weights_is_mi(self):
+        assert zoo_score(0.25, 0.9, 0.8) == pytest.approx(0.25)
+
+    def test_zoo_score_weights_add_leakage_terms(self):
+        score = zoo_score(0.25, 0.75, 0.4, auc_weight=1.0, xcorr_weight=1.0)
+        assert score == pytest.approx(0.25 + 2 * 0.25 + 0.4)
+        # An indistinguishable stream adds nothing regardless of weight.
+        assert zoo_score(0.0, 0.5, 0.0, auc_weight=5.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# GA multi-objective fitness
+# ---------------------------------------------------------------------------
+
+
+class TestGaZooFitness:
+    def _payload(self, **extra):
+        import dataclasses
+
+        from repro.parallel.tasks import make_run_payload
+
+        fast = dataclasses.replace(
+            ExperimentDefaults(), accesses=600, cycles=6000
+        )
+        payload = make_run_payload("gcc", fast)
+        payload.update(
+            base_ipc=1.0, window_cycles=512, seed=7,
+            genome=[2, 1, 1, 1, 1, 1, 1, 1, 1, 1],
+        )
+        payload.update(extra)
+        return payload
+
+    def test_default_weights_reduce_to_mi_penalty(self):
+        from repro.parallel.tasks import ga_fitness_task
+
+        result = ga_fitness_task(self._payload())
+        assert "auc" not in result and "xcorr" not in result
+        assert result["fitness"] == pytest.approx(
+            result["slowdown"] + result["mi"]
+        )
+
+    def test_zoo_weights_turn_fitness_multi_objective(self):
+        from repro.parallel.tasks import ga_fitness_task
+
+        payload = self._payload(auc_weight=1.0, xcorr_weight=0.5)
+        result = ga_fitness_task(payload)
+        assert 0.0 <= result["auc"] <= 1.0
+        assert 0.0 <= result["xcorr"] <= 1.0
+        expected = result["slowdown"] + zoo_score(
+            result["mi"], result["auc"], result["xcorr"],
+            auc_weight=1.0, xcorr_weight=0.5,
+        )
+        assert result["fitness"] == pytest.approx(expected)
+        # Same payload, same seed → identical multi-objective score.
+        assert ga_fitness_task(payload) == result
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the covert channel against the zoo
+# ---------------------------------------------------------------------------
+
+
+def _covert_run(key, plan, cycles=80000, seed=42):
+    trace = covert_sender_trace(key_to_bits(key, 16), CovertChannelConfig())
+    builder = SystemBuilder(seed=seed)
+    builder.add_core(trace, request_shaping=plan)
+    return builder.build().run(cycles, stop_when_done=False).core(0)
+
+
+class TestCovertEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        spec = ExperimentDefaults().spec
+        config = staircase_config(spec, 0.027)
+        shaped_a = _covert_run(
+            0xAAAA, RequestShapingPlan(config=config, spec=spec)
+        )
+        shaped_b = _covert_run(
+            0x5555, RequestShapingPlan(config=config, spec=spec)
+        )
+        unshaped = _covert_run(0xAAAA, None)
+        return spec, config, shaped_a, shaped_b, unshaped
+
+    def test_unshaped_sender_is_trivially_detectable(self, runs):
+        spec, config, _, _, unshaped = runs
+        report = detect_report(
+            "unshaped", unshaped.request_intrinsic.gaps,
+            unshaped.request_intrinsic.gaps, spec,
+            config.normalized(), seed=42,
+        )
+        assert report.auc >= 0.9
+        assert report.xcorr >= 0.9
+
+    def test_shaped_stream_hides_the_secret(self, runs):
+        # The two-world attacker: distinguish key 0xAAAA's shaped
+        # stream from key 0x5555's.  Shaping pushes the classifiers
+        # toward coin-flipping and collapses the rate correlation.
+        spec, config, shaped_a, shaped_b, unshaped = runs
+        secret = detect_report(
+            "secret", shaped_a.request_intrinsic.gaps,
+            shaped_a.request_shaped.gaps, spec, config.normalized(),
+            seed=42, reference_gaps=shaped_b.request_shaped.gaps,
+        )
+        assert secret.auc <= 0.7
+        assert secret.xcorr <= 0.4
+        # And the classic MI view agrees: shaping strips most of the
+        # rate information the unshaped stream exposes.
+        baseline = detect_report(
+            "unshaped", unshaped.request_intrinsic.gaps,
+            unshaped.request_intrinsic.gaps, spec,
+            config.normalized(), seed=42,
+        )
+        assert secret.mi_bits < 0.5 * baseline.mi_bits
+
+
+# ---------------------------------------------------------------------------
+# the canned suite: determinism across jobs and runs
+# ---------------------------------------------------------------------------
+
+
+class TestDetectSuite:
+    def test_jobs_invariant_and_digest_stable(self):
+        defaults = ExperimentDefaults().scaled(0.2)
+        serial = detect_suite("apache", defaults, jobs=1)
+        parallel = detect_suite("apache", defaults, jobs=2)
+        assert canonical_doc(serial) == canonical_doc(parallel)
+        assert serial["digest"] == parallel["digest"]
+        labels = [row["label"] for row in serial["rows"]]
+        assert labels[0] == "no-shaping"
+        assert "cs" in labels
+        for row in serial["rows"]:
+            for column in ("mi", "auc", "xcorr", "spectral"):
+                assert column in row
